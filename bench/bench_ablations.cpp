@@ -1,0 +1,168 @@
+// Ablations over the design choices DESIGN.md §4 calls out:
+//   1. visit order (reverse-chrono + first-token promotion vs alternatives)
+//   2. denominator policy (remove-on-prune vs keep-stale)
+//   3. chunk width (2/4/6-bit chunks of the 12-bit operands)
+//   4. scoreboard capacity (8/16/32/64 entries)
+// Each table reports the metric the choice trades: K transfer, pruning
+// power, or cycles.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "accel/engine.h"
+#include "common/table.h"
+#include "core/token_picker.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace topick;
+
+wl::Instance sample_instance(Rng& rng, std::size_t len = 1024) {
+  wl::WorkloadParams params;
+  params.context_len = len;
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  return gen.make_instance(rng);
+}
+
+AccessStats run_functional(const wl::Instance& inst,
+                           const TokenPickerConfig& config) {
+  TokenPickerAttention op(config);
+  return op.attend(inst.q, inst.view()).stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablations over Token-Picker design choices ==\n\n");
+  constexpr int kInstances = 8;
+  constexpr double kThr = 1e-3;
+
+  // --- 1. visit order ---------------------------------------------------
+  {
+    const struct {
+      const char* name;
+      OrderingPolicy policy;
+    } orders[] = {
+        {"reverse-chrono + first (paper)",
+         OrderingPolicy::reverse_chrono_first_promoted},
+        {"reverse-chrono", OrderingPolicy::reverse_chrono},
+        {"chronological", OrderingPolicy::chrono},
+        {"random", OrderingPolicy::random_order},
+    };
+    TablePrinter table({"visit order", "K reduction", "V pruning ratio",
+                        "avg chunks/token"});
+    for (const auto& order : orders) {
+      AccessStats agg;
+      Rng rng(0xab1a);
+      for (int i = 0; i < kInstances; ++i) {
+        const auto inst = sample_instance(rng);
+        TokenPickerConfig config;
+        config.estimator.threshold = kThr;
+        config.order = order.policy;
+        agg.merge(run_functional(inst, config));
+      }
+      double chunks = 0.0;
+      for (std::size_t c = 0; c < 3; ++c) {
+        chunks += static_cast<double>(agg.chunk_histogram[c]) *
+                  static_cast<double>(c + 1);
+      }
+      table.add_row({order.name, TablePrinter::fmt_ratio(agg.k_reduction()),
+                     TablePrinter::fmt_ratio(agg.pruning_ratio(), 1),
+                     TablePrinter::fmt(
+                         chunks / static_cast<double>(agg.tokens_total), 2)});
+    }
+    std::printf("--- visit order (thr = 1e-3) ---\n%s\n",
+                table.render().c_str());
+    std::printf("Dominant tokens entering the denominator early is what "
+                "makes early pruning possible; chronological order defers "
+                "them and fetches more chunks.\n\n");
+  }
+
+  // --- 2. denominator policy --------------------------------------------
+  {
+    TablePrinter table({"denominator policy", "V pruning ratio",
+                        "K reduction"});
+    for (const auto policy : {DenominatorPolicy::remove_on_prune,
+                              DenominatorPolicy::keep_stale}) {
+      AccessStats agg;
+      Rng rng(0xab1b);
+      for (int i = 0; i < kInstances; ++i) {
+        const auto inst = sample_instance(rng);
+        TokenPickerConfig config;
+        config.estimator.threshold = kThr;
+        config.estimator.policy = policy;
+        agg.merge(run_functional(inst, config));
+      }
+      table.add_row({policy == DenominatorPolicy::remove_on_prune
+                         ? "remove-on-prune (paper)"
+                         : "keep-stale (cheaper in HW)",
+                     TablePrinter::fmt_ratio(agg.pruning_ratio(), 1),
+                     TablePrinter::fmt_ratio(agg.k_reduction())});
+    }
+    std::printf("--- denominator policy (both provably conservative) ---\n%s\n",
+                table.render().c_str());
+  }
+
+  // --- 3. chunk width -----------------------------------------------------
+  {
+    TablePrinter table({"chunk width", "chunks", "K reduction",
+                        "V pruning ratio"});
+    for (const int bits : {2, 4, 6}) {
+      AccessStats agg;
+      Rng rng(0xab1c);
+      for (int i = 0; i < kInstances; ++i) {
+        const auto inst = sample_instance(rng);
+        TokenPickerConfig config;
+        config.estimator.threshold = kThr;
+        config.quant.chunk_bits = bits;
+        agg.merge(run_functional(inst, config));
+      }
+      table.add_row({std::to_string(bits) + "-bit",
+                     std::to_string((12 + bits - 1) / bits),
+                     TablePrinter::fmt_ratio(agg.k_reduction()),
+                     TablePrinter::fmt_ratio(agg.pruning_ratio(), 1)});
+    }
+    std::printf("--- chunk width (12-bit operands) ---\n%s\n",
+                table.render().c_str());
+    std::printf("Narrow chunks give finer early-exit points but more "
+                "round-trips; 4-bit (paper) balances the two at DRAM "
+                "granule size.\n\n");
+  }
+
+  // --- 4. scoreboard capacity --------------------------------------------
+  {
+    TablePrinter table({"scoreboard entries", "cycles", "stall cycles",
+                        "peak occupancy"});
+    Rng rng(0xab1d);
+    const auto inst = sample_instance(rng, 512);
+    accel::AccelInstance hw;
+    fx::QuantParams base;
+    hw.kv = quantize_kv(inst.view(), base);
+    fx::QuantParams qp = base;
+    qp.scale = fx::choose_scale(inst.q, base.total_bits);
+    hw.q = fx::quantize(inst.q, qp);
+    hw.score_scale =
+        static_cast<double>(qp.scale) * hw.kv.keys[0].params.scale / 8.0;
+
+    for (const int entries : {4, 8, 16, 32, 64}) {
+      accel::AccelConfig config;
+      config.design = accel::DesignPoint::topick_ooo;
+      config.estimator.threshold = kThr;
+      config.scoreboard_entries = entries;
+      config.dram.enable_refresh = false;
+      accel::Engine engine(config);
+      const auto result = engine.run(hw);
+      table.add_row({std::to_string(entries),
+                     std::to_string(result.core_cycles),
+                     std::to_string(result.lane_stall_cycles),
+                     std::to_string(result.scoreboard_peak)});
+    }
+    std::printf("--- scoreboard capacity (context 512, thr = 1e-3) ---\n%s\n",
+                table.render().c_str());
+    std::printf("Table 1's 32 entries are sized so stalls vanish at the "
+                "paper's pruning rates.\n");
+  }
+  return 0;
+}

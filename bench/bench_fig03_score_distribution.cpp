@@ -1,0 +1,80 @@
+// Fig. 3 — Correlation-score distribution variability across instances.
+//
+// Samples attention instances at context 1024 (same shape, same generator),
+// counts tokens with softmax probability above 1e-3 in each, and prints the
+// score histograms of the most/least concentrated instances. Reproduces the
+// paper's observation that the dominant-token count varies by ~5x between
+// instances (48 vs 241 in the paper), which is what breaks fixed-ratio
+// pruning.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/expsum.h"
+#include "common/stats.h"
+#include "workload/generator.h"
+
+namespace {
+
+int dominant_count(const std::vector<double>& scores, double prob_floor) {
+  const double log_denom =
+      topick::log_sum_exp(scores.data(), scores.size());
+  int count = 0;
+  for (double s : scores) {
+    if (std::exp(s - log_denom) > prob_floor) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  using namespace topick;
+  std::printf("== Fig. 3: score distribution variability (context 1024) ==\n\n");
+
+  wl::WorkloadParams params;
+  params.context_len = 1024;
+  wl::Generator gen(params);
+  Rng rng(0xf163);
+
+  struct Sample {
+    wl::Instance inst;
+    int dominant;
+  };
+  std::vector<Sample> samples;
+  for (int i = 0; i < 24; ++i) {
+    Sample s;
+    s.inst = gen.make_instance(rng);
+    s.dominant = dominant_count(s.inst.target_scores, 1e-3);
+    samples.push_back(std::move(s));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.dominant < b.dominant;
+            });
+
+  const auto& a = samples.front();   // instance A: few dominant tokens
+  const auto& b = samples.back();    // instance B: many dominant tokens
+
+  auto print_instance = [](const char* label, const Sample& s) {
+    std::printf("Instance %s: %d of %zu tokens (%.1f%%) have attention "
+                "probability > 1e-3\n",
+                label, s.dominant, s.inst.len,
+                100.0 * s.dominant / static_cast<double>(s.inst.len));
+    Histogram h(-10.0, 10.0, 20);
+    for (double v : s.inst.target_scores) h.add(v);
+    std::printf("%s\n", h.ascii(44).c_str());
+  };
+
+  print_instance("A", a);
+  print_instance("B", b);
+
+  std::printf("Paper (GPT2, identical layer/head/context): instance A 48 "
+              "tokens (4.6%%), instance B 241 tokens (23.5%%).\n");
+  std::printf("Measured spread across %zu sampled instances: min %d, max %d "
+              "dominant tokens -> fixed-ratio pruning cannot fit both.\n",
+              samples.size(), samples.front().dominant,
+              samples.back().dominant);
+  return 0;
+}

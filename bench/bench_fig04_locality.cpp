@@ -1,0 +1,131 @@
+// Fig. 4 — (a) attention-probability locality heatmap in text generation,
+// (b) the margin-bracketing worked example.
+//
+// (a) Decodes held-out documents with the trained tiny LM while recording
+// every attention-probability vector, then averages probability mass per
+// head over the paper's position buckets: first token, middle (1..t-10),
+// and the ten most recent positions. Shows the recency + attention-sink
+// pattern that justifies the reverse-chronological-with-first-token visit
+// order.
+// (b) Reproduces the Fig. 4(b) bracket-tightening example in the 6-bit,
+// 2-bit-chunk format used by the figure.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "fixedpoint/chunks.h"
+#include "fixedpoint/margin.h"
+
+int main() {
+  using namespace topick;
+  std::printf("== Fig. 4(a): attention probability by token position ==\n\n");
+
+  const auto& weights = bench::shared_tiny_lm();
+  const auto docs = bench::heldout_docs(8);
+
+  // bucket 0: first token; 1: middle; 2..11: t-9 .. t (most recent last).
+  constexpr int kBuckets = 12;
+  const int n_head = weights.config.n_head;
+  const int n_layer = weights.config.n_layer;
+  std::vector<std::vector<double>> mass(
+      static_cast<std::size_t>(n_layer * n_head),
+      std::vector<double>(kBuckets, 0.0));
+  std::vector<double> counts(static_cast<std::size_t>(n_layer * n_head), 0.0);
+  std::vector<double> middle_positions(
+      static_cast<std::size_t>(n_layer * n_head), 0.0);
+
+  RecordingBackend backend([&](const ProbRecord& record) {
+    if (record.probs.size() < 16) return;  // need enough context to bucket
+    const auto t = record.probs.size() - 1;
+    const auto idx =
+        static_cast<std::size_t>(record.layer * n_head + record.head);
+    auto& row = mass[idx];
+    counts[idx] += 1.0;
+    for (std::size_t i = 0; i < record.probs.size(); ++i) {
+      int bucket;
+      if (i == 0) {
+        bucket = 0;
+      } else if (t - i <= 9) {
+        bucket = 2 + static_cast<int>(9 - (t - i));
+      } else {
+        bucket = 1;
+        middle_positions[idx] += 1.0;
+      }
+      row[static_cast<std::size_t>(bucket)] += record.probs[i];
+    }
+  });
+
+  Transformer model(&weights, &backend);
+  for (const auto& doc : docs) {
+    model.begin_sequence();
+    for (int tok : doc) model.decode_step(tok);
+  }
+
+  TablePrinter table({"head", "first(0)", "middle(sum)", "middle(per-tok)",
+                      "t-9", "t-8", "t-7", "t-6", "t-5", "t-4", "t-3", "t-2",
+                      "t-1", "t"});
+  double sink_ratio = 0.0, recent_ratio = 0.0;
+  int rows = 0;
+  for (int l = 0; l < n_layer; ++l) {
+    for (int h = 0; h < n_head; ++h) {
+      const auto idx = static_cast<std::size_t>(l * n_head + h);
+      if (counts[idx] == 0.0) continue;
+      std::vector<std::string> row{"L" + std::to_string(l) + "H" +
+                                   std::to_string(h)};
+      const double middle_per_token =
+          middle_positions[idx] > 0.0 ? mass[idx][1] / middle_positions[idx]
+                                      : 0.0;
+      for (int b = 0; b < kBuckets; ++b) {
+        row.push_back(TablePrinter::fmt(mass[idx][static_cast<std::size_t>(b)] /
+                                            counts[idx],
+                                        b == 0 || b == 1 ? 3 : 3));
+        if (b == 1) {
+          row.push_back(TablePrinter::fmt(middle_per_token, 4));
+        }
+      }
+      table.add_row(row);
+      sink_ratio +=
+          (mass[idx][0] / counts[idx]) / std::max(middle_per_token, 1e-12);
+      recent_ratio +=
+          (mass[idx][11] / counts[idx]) / std::max(middle_per_token, 1e-12);
+      ++rows;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Mean attention-probability mass per bucket; 'middle(per-tok)' "
+              "divides the aggregate by the ~150 positions it covers.\n");
+  std::printf("Locality factors (vs one middle position): first token %.0fx, "
+              "current token %.0fx.\n",
+              sink_ratio / rows, recent_ratio / rows);
+  std::printf("Paper Fig. 4(a): recent tokens and the first token carry most "
+              "mass; the 'middle' cell aggregates positions 1..t-10.\n\n");
+
+  // ---- Fig. 4(b): margin bracket example ------------------------------
+  std::printf("== Fig. 4(b): score range from partial K bits (6-bit, 2-bit "
+              "chunks) ==\n\n");
+  fx::QuantParams p;
+  p.total_bits = 6;
+  p.chunk_bits = 2;
+  p.scale = 1.0f;
+  // Q = (8, -5) fully known; K column = (0b110100, 0b000011) = (-12, 3).
+  fx::QuantizedVector q{p, {8, -5}};
+  fx::QuantizedVector k{p, {-12, 3}};
+  const fx::MarginTable margins(q, p);
+  const std::int64_t exact = fx::dot_i64(q, k);
+  std::printf("Q = (8, -5), K = (-12, 3), exact score = %lld\n",
+              static_cast<long long>(exact));
+  for (int level = 1; level <= p.num_chunks(); ++level) {
+    const auto partial = fx::partial_dot_i64(q, k, level);
+    const auto& m = margins.at_level(level);
+    std::printf("  %d bits of K known: score in [%lld, %lld]%s\n",
+                level * p.chunk_bits,
+                static_cast<long long>(partial + m.min_margin),
+                static_cast<long long>(partial + m.max_margin),
+                level == p.num_chunks() ? "  (exact)" : "");
+  }
+  std::printf("\nBrackets tighten 4x per 2-bit chunk and always contain the "
+              "exact score (see MarginSoundness test sweeps).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Fig. 5 — Out-of-order score calculation.
+//
+// Records the cycle-level schedule of one attention instance and prints the
+// event trace of one PE lane, demonstrating the mechanism of Fig. 5: while a
+// downstream (chunk >= 1) request is in flight to DRAM, the lane keeps
+// computing first chunks of other tokens. Also quantifies the benefit by
+// comparing lane utilization and total cycles against the stalled in-order
+// design on the identical instance.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "accel/engine.h"
+#include "core/exact_attention.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace topick;
+
+accel::SimResult run(const accel::AccelInstance& inst,
+                     accel::DesignPoint design, bool timeline) {
+  accel::AccelConfig config;
+  config.design = design;
+  config.estimator.threshold = 1e-3;
+  config.dram.enable_refresh = false;
+  accel::Engine engine(config);
+  return engine.run(inst, timeline);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 5: out-of-order score calculation ==\n\n");
+
+  wl::WorkloadParams params;
+  params.context_len = 256;
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  Rng rng(0xf05);
+  const auto inst = gen.make_instance(rng);
+
+  accel::AccelInstance hw;
+  fx::QuantParams base;
+  hw.kv = quantize_kv(inst.view(), base);
+  fx::QuantParams qp = base;
+  qp.scale = fx::choose_scale(inst.q, base.total_bits);
+  hw.q = fx::quantize(inst.q, qp);
+  hw.score_scale =
+      static_cast<double>(qp.scale) * hw.kv.keys[0].params.scale / 8.0;
+  hw.base_addr = 0;
+
+  const auto ooo = run(hw, accel::DesignPoint::topick_ooo, true);
+
+  // Print lane 0's first events.
+  std::printf("Lane 0 event trace (first 36 events):\n");
+  std::printf("  %-7s %-12s %-7s %-6s\n", "cycle", "event", "token", "chunk");
+  int printed = 0;
+  for (const auto& e : ooo.timeline) {
+    if (e.lane != 0) continue;
+    std::printf("  %-7llu %-12s %-7zu %-6d\n",
+                static_cast<unsigned long long>(e.cycle),
+                accel::event_kind_name(e.kind).c_str(), e.token, e.chunk);
+    if (++printed >= 36) break;
+  }
+
+  // Find a concrete overlap: a downstream request whose wait was filled with
+  // first-chunk computes of other tokens.
+  std::printf("\nLatency hiding in the trace:\n");
+  for (std::size_t i = 0; i < ooo.timeline.size(); ++i) {
+    const auto& req = ooo.timeline[i];
+    if (req.lane != 0 || req.kind != accel::EventKind::request ||
+        req.chunk == 0) {
+      continue;
+    }
+    // Matching arrival.
+    for (std::size_t j = i + 1; j < ooo.timeline.size(); ++j) {
+      const auto& arr = ooo.timeline[j];
+      if (arr.lane != 0 || arr.kind != accel::EventKind::arrive ||
+          arr.token != req.token || arr.chunk != req.chunk) {
+        continue;
+      }
+      int other_computes = 0;
+      for (std::size_t k = i + 1; k < j; ++k) {
+        const auto& mid = ooo.timeline[k];
+        if (mid.lane == 0 && mid.kind == accel::EventKind::compute &&
+            mid.token != req.token) {
+          ++other_computes;
+        }
+      }
+      std::printf("  token %zu chunk %d: requested @ cycle %llu, arrived @ "
+                  "cycle %llu (%llu-cycle DRAM round trip);\n"
+                  "  lane 0 computed %d other tokens' chunks in the gap.\n",
+                  req.token, req.chunk,
+                  static_cast<unsigned long long>(req.cycle),
+                  static_cast<unsigned long long>(arr.cycle),
+                  static_cast<unsigned long long>(arr.cycle - req.cycle),
+                  other_computes);
+      i = ooo.timeline.size();  // one example is enough
+      break;
+    }
+  }
+
+  // Quantify against the stalled in-order design (§3.2's strawman).
+  const auto stalled = run(hw, accel::DesignPoint::topick_stalled, false);
+  const auto baseline = run(hw, accel::DesignPoint::baseline, false);
+  std::printf("\nSame instance, three designs:\n");
+  std::printf("  %-32s %10s %14s\n", "design", "cycles", "lane util");
+  std::printf("  %-32s %10llu %13.1f%%\n", "baseline (stream everything)",
+              static_cast<unsigned long long>(baseline.core_cycles),
+              100.0 * baseline.lane_utilization(16));
+  std::printf("  %-32s %10llu %13.1f%%\n", "on-demand, stalled (no OoO)",
+              static_cast<unsigned long long>(stalled.core_cycles),
+              100.0 * stalled.lane_utilization(16));
+  std::printf("  %-32s %10llu %13.1f%%\n", "on-demand, out-of-order (ToPick)",
+              static_cast<unsigned long long>(ooo.core_cycles),
+              100.0 * ooo.lane_utilization(16));
+  std::printf("\nOoO recovers %.1fx cycles over the stalled design while "
+              "issuing the same on-demand requests.\n",
+              static_cast<double>(stalled.core_cycles) /
+                  static_cast<double>(ooo.core_cycles));
+  return 0;
+}

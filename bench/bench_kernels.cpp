@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks for the hot kernels: quantization, margin
+// generation, chunked partial dot products, estimator decisions, the full
+// functional attention operator, and DRAM-model throughput.
+#include <cmath>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/token_picker.h"
+#include "fixedpoint/chunks.h"
+#include "fixedpoint/margin.h"
+#include "memsim/hbm.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace topick;
+
+std::vector<float> random_vec(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_QuantizeVector(benchmark::State& state) {
+  Rng rng(1);
+  const auto xs = random_vec(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx::quantize_auto(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeVector)->Arg(64)->Arg(128);
+
+void BM_MarginTable(benchmark::State& state) {
+  Rng rng(2);
+  const auto q = fx::quantize_auto(random_vec(rng, 64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx::MarginTable(q, q.params));
+  }
+}
+BENCHMARK(BM_MarginTable);
+
+void BM_ChunkDotDelta(benchmark::State& state) {
+  Rng rng(3);
+  const auto q = fx::quantize_auto(random_vec(rng, 64));
+  const auto k = fx::quantize_auto(random_vec(rng, 64));
+  int chunk = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx::chunk_dot_delta_i64(q, k, chunk));
+    chunk = (chunk + 1) % 3;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChunkDotDelta);
+
+void BM_EstimatorDecision(benchmark::State& state) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(4096);
+  Rng rng(4);
+  for (std::size_t t = 0; t < 2048; ++t) {
+    est.update_token(t, rng.normal(0.0, 3.0));
+  }
+  double s = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.should_prune(s));
+    s += 0.001;
+    if (s > 4.0) s = -4.0;
+  }
+}
+BENCHMARK(BM_EstimatorDecision);
+
+void BM_TokenPickerAttend(benchmark::State& state) {
+  wl::WorkloadParams params;
+  params.context_len = static_cast<std::size_t>(state.range(0));
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  Rng rng(5);
+  const auto inst = gen.make_instance(rng);
+  TokenPickerConfig config;
+  config.estimator.threshold = 1e-3;
+  TokenPickerAttention op(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.attend(inst.q, inst.view()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TokenPickerAttend)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_ExactQuantizedAttend(benchmark::State& state) {
+  wl::WorkloadParams params;
+  params.context_len = static_cast<std::size_t>(state.range(0));
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  Rng rng(6);
+  const auto inst = gen.make_instance(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_attention_quantized(inst.q, inst.view()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExactQuantizedAttend)->Arg(256)->Arg(1024);
+
+void BM_HbmStreamingThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    mem::DramConfig config;
+    config.enable_refresh = false;
+    mem::Hbm hbm(config);
+    const int n = 1024;
+    int issued = 0;
+    std::uint64_t addr = 0;
+    while (issued < n || !hbm.idle()) {
+      while (issued < n && hbm.try_enqueue(mem::MemRequest{
+                               addr, static_cast<std::uint64_t>(issued)})) {
+        addr += 32;
+        ++issued;
+      }
+      hbm.tick();
+      hbm.drain_responses();
+    }
+    benchmark::DoNotOptimize(hbm.stats().bytes_read);
+  }
+  state.SetBytesProcessed(state.iterations() * 1024 * 32);
+}
+BENCHMARK(BM_HbmStreamingThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table 2 — Area and power breakdown of ToPick at 500 MHz, with the derived
+// overhead analysis of §5.2.3 (+1.0%/+1.3% for the V-estimation modules,
+// +4.9%/+5.6% for the K-pruning modules).
+//
+// Module-level values are the paper's synthesis results used as model
+// constants (we cannot re-run Synopsys DC offline — see DESIGN.md §1); the
+// totals and overhead percentages below are *computed* from them, verifying
+// the paper's arithmetic and feeding the Fig. 10(b) energy model.
+#include <cstdio>
+
+#include "accel/energy_model.h"
+#include "common/table.h"
+
+int main() {
+  using namespace topick;
+  accel::AreaPowerModel model;
+
+  std::printf("== Table 2: area and power breakdown at 500 MHz ==\n\n");
+  TablePrinter table({"module", "area (mm^2)", "power (mW)", "group"});
+  auto group_name = [](accel::ModuleCost::Group g) {
+    switch (g) {
+      case accel::ModuleCost::Group::base: return "base";
+      case accel::ModuleCost::Group::v_modules: return "V-estimation";
+      case accel::ModuleCost::Group::k_modules: return "K-pruning";
+    }
+    return "?";
+  };
+  for (const auto& m : model.lane_modules()) {
+    table.add_row({"PE Lane / " + m.name, TablePrinter::fmt(m.area_mm2, 3),
+                   TablePrinter::fmt(m.power_mw, 2), group_name(m.group)});
+  }
+  for (const auto& m : model.shared_modules()) {
+    table.add_row({m.name, TablePrinter::fmt(m.area_mm2, 3),
+                   TablePrinter::fmt(m.power_mw, 2), group_name(m.group)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("PE Lane x 16 : %.3f mm^2, %.2f mW   (paper: 2.518 mm^2, "
+              "426.76 mW)\n",
+              model.lane_area_mm2() * 16, model.lane_power_mw() * 16);
+  std::printf("Total        : %.3f mm^2, %.2f mW   (paper: 8.593 mm^2, "
+              "1492.78 mW)\n\n",
+              model.total_area_mm2(), model.total_power_mw());
+
+  std::printf("Derived overheads over the baseline datapath:\n");
+  std::printf("  V-estimation modules (Margin Generator, DAG, PEC):\n");
+  std::printf("    area  +%.1f%%   (paper: +1.0%%)\n",
+              100.0 * model.area_overhead_v());
+  std::printf("    power +%.1f%%   (paper: +1.3%%)\n",
+              100.0 * model.power_overhead_v());
+  std::printf("  K-pruning modules (Scoreboard, RPDU):\n");
+  std::printf("    area  +%.1f%%   (paper: +4.9%%)\n",
+              100.0 * model.area_overhead_k());
+  std::printf("    power +%.1f%%   (paper: +5.6%%)\n",
+              100.0 * model.power_overhead_k());
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "train/checkpoint.h"
+
+namespace topick::bench {
+
+ModelConfig bench_lm_config() {
+  ModelConfig c;
+  c.name = "tiny-lm-bench";
+  c.n_layer = 2;
+  c.n_head = 4;
+  c.d_model = 64;
+  c.d_ff = 256;
+  c.vocab = 64;
+  c.max_seq = 256;
+  return c;
+}
+
+train::TrainConfig bench_train_config() {
+  train::TrainConfig t;
+  t.steps = 400;
+  t.batch_docs = 6;
+  t.seq_len = 160;
+  t.lr = 3e-3f;
+  t.seed = 0x7ea1;
+  return t;
+}
+
+train::CorpusConfig bench_corpus_config() {
+  // A weak Markov background (wide branch, mild skew) plus frequent long
+  // verbatim repeats: predicting the repeats requires attending far back
+  // (induction), which is what gives the trained model peaky, position-
+  // dependent attention — the regime Token-Picker exploits.
+  train::CorpusConfig c;
+  c.vocab = bench_lm_config().vocab;
+  c.doc_len = bench_train_config().seq_len + 1;
+  c.branch = 6;
+  c.branch_skew = 0.45;
+  c.copy_start_prob = 0.10;
+  c.copy_len_min = 8;
+  c.copy_len_max = 16;
+  return c;
+}
+
+const TransformerWeights& shared_tiny_lm() {
+  static TransformerWeights weights = [] {
+    const std::string dir = "assets";
+    const std::string path = dir + "/tiny_lm_v2.ckpt";
+    if (train::checkpoint_exists(path)) {
+      std::printf("[bench] loading cached tiny LM from %s\n", path.c_str());
+      return train::load_checkpoint(path);
+    }
+    std::printf(
+        "[bench] training tiny LM from scratch (%d steps, one-time; cached "
+        "to %s)...\n",
+        bench_train_config().steps, path.c_str());
+    std::fflush(stdout);
+    const auto trained = train::train_tiny_lm(
+        bench_lm_config(), bench_train_config(), bench_corpus_config());
+    std::printf("[bench] trained: final loss %.3f, held-out NLL %.3f "
+                "(ppl %.2f)\n",
+                trained.final_train_loss, trained.heldout_nll,
+                std::exp(trained.heldout_nll));
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) train::save_checkpoint(trained.weights, path);
+    return trained.weights;
+  }();
+  return weights;
+}
+
+std::vector<std::vector<int>> heldout_docs(int count) {
+  train::Corpus corpus(bench_corpus_config());
+  Rng rng(0x0e0a'ee15ULL);  // disjoint from the training stream
+  return corpus.make_documents(rng, count);
+}
+
+double measured_ppl(const TransformerWeights& weights,
+                    AttentionBackend* backend,
+                    const std::vector<std::vector<int>>& docs) {
+  Transformer model(&weights, backend);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& doc : docs) {
+    total += model.sequence_nll(doc) * static_cast<double>(doc.size() - 1);
+    count += doc.size() - 1;
+  }
+  return std::exp(total / static_cast<double>(count));
+}
+
+double quantized_baseline_ppl(const TransformerWeights& weights,
+                              const std::vector<std::vector<int>>& docs) {
+  ExactQuantizedBackend backend;
+  return measured_ppl(weights, &backend, docs);
+}
+
+std::vector<OperatingPoint> calibrate_operating_points(
+    const TransformerWeights& weights,
+    const std::vector<std::vector<int>>& docs) {
+  const double base = quantized_baseline_ppl(weights, docs);
+  // Threshold grid, ascending; PPL is measured once per candidate.
+  const std::vector<double> grid{1e-5, 3e-5, 1e-4, 3e-4, 1e-3,
+                                 2e-3, 4e-3, 8e-3, 1.5e-2, 3e-2};
+  std::vector<double> ppls;
+  ppls.reserve(grid.size());
+  for (const double thr : grid) {
+    TokenPickerConfig config;
+    config.estimator.threshold = thr;
+    TokenPickerBackend backend(config);
+    ppls.push_back(measured_ppl(weights, &backend, docs));
+  }
+
+  auto pick = [&](const std::string& name, double budget) {
+    // Largest threshold whose measured delta stays within budget, scanning
+    // ascending and stopping at the first violation (monotone-prefix rule:
+    // a noisy dip past a violation must not be selected).
+    OperatingPoint point;
+    point.name = name;
+    point.threshold = grid.front();
+    point.measured_ppl = ppls.front();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (ppls[i] - base > budget) break;
+      point.threshold = grid[i];
+      point.measured_ppl = ppls[i];
+    }
+    point.delta_ppl = point.measured_ppl - base;
+    return point;
+  };
+
+  return {pick("ToPick", 0.05), pick("ToPick-0.3", 0.30),
+          pick("ToPick-0.5", 0.50)};
+}
+
+}  // namespace topick::bench

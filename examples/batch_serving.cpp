@@ -1,0 +1,58 @@
+// Batched-serving scenario from the paper's introduction: with dynamic
+// batching, weights amortize but each request's KV cache does not, so
+// attention becomes the traffic bottleneck. This example quantifies the
+// per-step traffic for OPT-6.7B at several batch sizes and applies the
+// Token-Picker reduction (measured on a matching workload) to the KV share,
+// reporting the resulting end-to-end step-traffic speedup.
+#include <cstdio>
+
+#include "analytic/traffic.h"
+#include "common/table.h"
+#include "core/token_picker.h"
+#include "workload/zoo.h"
+
+int main() {
+  using namespace topick;
+  const auto model = zoo_config("OPT-6.7B");
+  const int context = 2048;
+
+  // Measure the Token-Picker KV-traffic reduction on an OPT-6.7B-shaped
+  // workload (12-bit operands).
+  AccessStats stats;
+  {
+    wl::WorkloadParams params;
+    params.context_len = context;
+    params.head_dim = model.head_dim();
+    wl::Generator generator(params);
+    Rng rng(11);
+    TokenPickerConfig config;
+    config.estimator.threshold = 1e-3;
+    TokenPickerAttention op(config);
+    for (int i = 0; i < 4; ++i) {
+      const auto inst = generator.make_instance(rng);
+      stats.merge(op.attend(inst.q, inst.view()).stats);
+    }
+  }
+  const double kv_reduction = stats.total_reduction();
+  std::printf("OPT-6.7B, context %d: measured Token-Picker KV traffic "
+              "reduction %.2fx\n\n", context, kv_reduction);
+
+  TablePrinter table({"batch", "KV share", "step traffic (GB)",
+                      "with ToPick (GB)", "step speedup (mem-bound)"});
+  for (int batch : {1, 4, 16, 64, 128}) {
+    const auto t = an::generation_step_traffic(model, batch, context, 16, 12);
+    const double total_gb = t.total() / 1e9;
+    const double with_topick =
+        (t.weight_bytes + t.embedding_bytes + t.kv_bytes / kv_reduction) / 1e9;
+    table.add_row({std::to_string(batch), TablePrinter::fmt_pct(t.kv_fraction()),
+                   TablePrinter::fmt(total_gb, 2),
+                   TablePrinter::fmt(with_topick, 2),
+                   TablePrinter::fmt_ratio(total_gb / with_topick)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("At small batches weights dominate and pruning barely matters; "
+              "at serving-scale batches the KV cache is >80%% of traffic and "
+              "Token-Picker's reduction converts almost 1:1 into step "
+              "speedup.\n");
+  return 0;
+}

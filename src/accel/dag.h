@@ -1,0 +1,43 @@
+// Denominator Aggregation module (Fig. 6): collects partial-exp deltas from
+// every PE lane each cycle and broadcasts ln(denominator) back. Functionally
+// this is the shared ProbabilityEstimator; the DAG wrapper adds the update
+// accounting used by the energy model.
+#pragma once
+
+#include <cstdint>
+
+#include "core/estimator.h"
+
+namespace topick::accel {
+
+class Dag {
+ public:
+  explicit Dag(const EstimatorConfig& config) : estimator_(config) {}
+
+  void reset(std::size_t num_tokens) {
+    estimator_.reset(num_tokens);
+    updates_ = 0;
+    decisions_ = 0;
+  }
+
+  bool should_prune(double s_max) {
+    ++decisions_;
+    return estimator_.should_prune(s_max);
+  }
+  void update_token(std::size_t token, double s_min) {
+    ++updates_;
+    estimator_.update_token(token, s_min);
+  }
+  void mark_pruned(std::size_t token) { estimator_.mark_pruned(token); }
+
+  double log_denominator() const { return estimator_.log_denominator(); }
+  std::uint64_t updates() const { return updates_; }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  ProbabilityEstimator estimator_;
+  std::uint64_t updates_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace topick::accel

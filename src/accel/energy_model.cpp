@@ -1,0 +1,102 @@
+#include "accel/energy_model.h"
+
+namespace topick::accel {
+
+AreaPowerModel::AreaPowerModel() {
+  using G = ModuleCost::Group;
+  // Per-lane modules (Table 2, "PE Lane" block).
+  lane_modules_ = {
+      {"Multipliers & Adder-Tree 12b", 0.095, 17.94, G::base},
+      {"Prob Gen", 0.032, 2.22, G::base},
+      {"PEC", 0.004, 0.73, G::v_modules},
+      {"Scoreboard", 0.024, 4.69, G::k_modules},
+      {"RPDU", 0.001, 0.17, G::k_modules},
+  };
+  // Shared modules.
+  shared_ = {
+      {"Mux Network", 0.076, 3.13, G::base},
+      {"Margin Generator", 0.014, 3.78, G::v_modules},
+      {"DAG", 0.010, 2.49, G::v_modules},
+      {"On-chip buffer", 5.968, 1053.32, G::base},
+  };
+}
+
+double AreaPowerModel::lane_area_mm2() const {
+  double area = 0.0;
+  for (const auto& m : lane_modules_) area += m.area_mm2;
+  return area;
+}
+
+double AreaPowerModel::lane_power_mw() const {
+  double power = 0.0;
+  for (const auto& m : lane_modules_) power += m.power_mw;
+  return power;
+}
+
+double AreaPowerModel::total_area_mm2(int lanes) const {
+  double area = lane_area_mm2() * lanes;
+  for (const auto& m : shared_) area += m.area_mm2;
+  return area;
+}
+
+double AreaPowerModel::total_power_mw(int lanes) const {
+  double power = lane_power_mw() * lanes;
+  for (const auto& m : shared_) power += m.power_mw;
+  return power;
+}
+
+double AreaPowerModel::group_area(ModuleCost::Group g, int lanes) const {
+  double area = 0.0;
+  for (const auto& m : lane_modules_) {
+    if (m.group == g) area += m.area_mm2 * lanes;
+  }
+  for (const auto& m : shared_) {
+    if (m.group == g) area += m.area_mm2;
+  }
+  return area;
+}
+
+double AreaPowerModel::group_power(ModuleCost::Group g, int lanes) const {
+  double power = 0.0;
+  for (const auto& m : lane_modules_) {
+    if (m.group == g) power += m.power_mw * lanes;
+  }
+  for (const auto& m : shared_) {
+    if (m.group == g) power += m.power_mw;
+  }
+  return power;
+}
+
+double AreaPowerModel::area_overhead_v(int lanes) const {
+  return group_area(ModuleCost::Group::v_modules, lanes) /
+         group_area(ModuleCost::Group::base, lanes);
+}
+double AreaPowerModel::power_overhead_v(int lanes) const {
+  return group_power(ModuleCost::Group::v_modules, lanes) /
+         group_power(ModuleCost::Group::base, lanes);
+}
+double AreaPowerModel::area_overhead_k(int lanes) const {
+  return group_area(ModuleCost::Group::k_modules, lanes) /
+         group_area(ModuleCost::Group::base, lanes);
+}
+double AreaPowerModel::power_overhead_k(int lanes) const {
+  return group_power(ModuleCost::Group::k_modules, lanes) /
+         group_power(ModuleCost::Group::base, lanes);
+}
+
+EnergyBreakdown energy_of(const SimResult& result,
+                          const EnergyCoefficients& coeffs) {
+  EnergyBreakdown breakdown;
+  breakdown.dram_pj = result.dram_energy_pj;
+  // Every fetched bit crosses an on-chip buffer twice (fill + drain), plus
+  // scoreboard traffic: one write and one read per decision past chunk 0.
+  const double moved_bits = static_cast<double>(
+      result.access.k_bits_fetched + result.access.v_bits_fetched);
+  breakdown.buffer_pj = moved_bits * 2.0 * coeffs.sram_pj_per_bit_access;
+  breakdown.compute_pj =
+      static_cast<double>(result.lane_busy_cycles) *
+      coeffs.lane_pj_per_busy_cycle;
+  return breakdown;
+}
+
+}  // namespace topick::accel

@@ -1,0 +1,76 @@
+// Area/power/energy model.
+//
+// Module-level area and power come from the paper's Table 2 (Synopsys DC,
+// Samsung 65nm LP, 500 MHz) as model constants; DRAM energy comes from the
+// memsim counters; SRAM buffer energy uses a CACTI-class per-bit coefficient.
+// The model reproduces (a) Table 2's overhead arithmetic and (b) the Fig.
+// 10(b) DRAM / on-chip buffer / computation breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/engine.h"
+
+namespace topick::accel {
+
+struct ModuleCost {
+  std::string name;
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  // Module group: estimation-for-V (Margin Generator / DAG / PEC), K-pruning
+  // (Scoreboard / RPDU), or base datapath.
+  enum class Group { base, v_modules, k_modules } group = Group::base;
+};
+
+// Table 2 rows. Per-lane modules are listed per lane; the x16 aggregation is
+// computed, matching the paper's "PE Lane x 16" row.
+class AreaPowerModel {
+ public:
+  AreaPowerModel();
+
+  const std::vector<ModuleCost>& lane_modules() const { return lane_modules_; }
+  const std::vector<ModuleCost>& shared_modules() const { return shared_; }
+
+  double lane_area_mm2() const;     // one lane
+  double lane_power_mw() const;
+  double total_area_mm2(int lanes = 16) const;
+  double total_power_mw(int lanes = 16) const;
+
+  // Overheads over the baseline configuration (paper: +1.0% area / +1.3%
+  // power for the V-modules; +4.9% / +5.6% more for the K-modules).
+  double area_overhead_v(int lanes = 16) const;
+  double power_overhead_v(int lanes = 16) const;
+  double area_overhead_k(int lanes = 16) const;
+  double power_overhead_k(int lanes = 16) const;
+
+ private:
+  double group_area(ModuleCost::Group g, int lanes) const;
+  double group_power(ModuleCost::Group g, int lanes) const;
+
+  std::vector<ModuleCost> lane_modules_;
+  std::vector<ModuleCost> shared_;
+};
+
+struct EnergyBreakdown {
+  double dram_pj = 0.0;
+  double buffer_pj = 0.0;
+  double compute_pj = 0.0;
+  double total_pj() const { return dram_pj + buffer_pj + compute_pj; }
+};
+
+struct EnergyCoefficients {
+  // CACTI-class 192 KB SRAM access energy; every DRAM bit is written to and
+  // later read from an on-chip buffer (2 accesses).
+  double sram_pj_per_bit_access = 0.15;
+  // Scoreboard entry width (Table 1: 67 bits) x small-SRAM access cost.
+  double scoreboard_pj_per_access = 67 * 0.05;
+  // Dynamic compute energy: PE-lane power / lanes / frequency.
+  double lane_pj_per_busy_cycle = 426.76 / 16.0 / 0.5;  // mW / GHz = pJ/cycle
+};
+
+// Builds the Fig. 10(b) breakdown for one simulated instance.
+EnergyBreakdown energy_of(const SimResult& result,
+                          const EnergyCoefficients& coeffs = {});
+
+}  // namespace topick::accel

@@ -1,0 +1,42 @@
+#include "accel/pe_lane.h"
+
+namespace topick::accel {
+
+bool PeLane::deliver_granule(std::size_t token, int chunk,
+                             int granules_needed) {
+  if (granules_needed == 1) {
+    ready_.push_back(ReadyChunk{token, chunk});
+    return true;
+  }
+  for (std::size_t i = 0; i < assembling_.size(); ++i) {
+    auto& slot = assembling_[i];
+    if (slot.token == token && slot.chunk == chunk) {
+      if (++slot.received == granules_needed) {
+        ready_.push_back(ReadyChunk{token, chunk});
+        assembling_[i] = assembling_.back();
+        assembling_.pop_back();
+        return true;
+      }
+      return false;
+    }
+  }
+  assembling_.push_back(Assembly{token, chunk, 1});
+  return false;
+}
+
+ReadyChunk PeLane::pop_ready() {
+  ReadyChunk front = ready_.front();
+  ready_.pop_front();
+  return front;
+}
+
+void PeLane::reset() {
+  scoreboard_.clear();
+  stats_ = LaneStats{};
+  ready_.clear();
+  assembling_.clear();
+  outgoing_.clear();
+  compute_free_at_ = 0;
+}
+
+}  // namespace topick::accel

@@ -1,0 +1,42 @@
+#include "accel/scoreboard.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace topick::accel {
+
+Scoreboard::Scoreboard(std::size_t capacity) : capacity_(capacity) {
+  require(capacity > 0, "Scoreboard: capacity must be positive");
+  entries_.reserve(capacity);
+}
+
+void Scoreboard::insert(const ScoreboardEntry& entry) {
+  require(!full(), "Scoreboard: insert on full scoreboard");
+  require(!contains(entry.token), "Scoreboard: duplicate token entry");
+  entries_.push_back(entry);
+  peak_ = std::max(peak_, entries_.size());
+}
+
+std::optional<ScoreboardEntry> Scoreboard::take(std::size_t token) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].token == token) {
+      ScoreboardEntry entry = entries_[i];
+      entries_[i] = entries_.back();
+      entries_.pop_back();
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Scoreboard::contains(std::size_t token) const {
+  for (const auto& entry : entries_) {
+    if (entry.token == token) return true;
+  }
+  return false;
+}
+
+void Scoreboard::clear() { entries_.clear(); }
+
+}  // namespace topick::accel

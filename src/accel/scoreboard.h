@@ -1,0 +1,46 @@
+// Per-lane scoreboard (Fig. 7): buffers the partial score and partial exp of
+// tokens that survived a prune decision and are awaiting their next K chunk.
+// Capacity (Table 1: 32 entries x 67 bit) bounds how many on-demand requests
+// a lane can have outstanding; a full scoreboard stalls further keeps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace topick::accel {
+
+struct ScoreboardEntry {
+  std::size_t token = 0;
+  int chunks_done = 0;          // chunk levels already accumulated
+  std::int64_t partial_score = 0;
+  double partial_exp_arg = 0.0;  // s_min registered with the DAG
+};
+
+class Scoreboard {
+ public:
+  explicit Scoreboard(std::size_t capacity);
+
+  bool full() const { return entries_.size() >= capacity_; }
+  std::size_t occupancy() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  // High-water mark, for utilization reporting.
+  std::size_t peak_occupancy() const { return peak_; }
+
+  // Allocates an entry; requires !full().
+  void insert(const ScoreboardEntry& entry);
+
+  // Fetch-and-remove the entry for `token` (the downstream chunk arrived and
+  // the lane is updating the partial). Empty when the token has no entry.
+  std::optional<ScoreboardEntry> take(std::size_t token);
+
+  bool contains(std::size_t token) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t peak_ = 0;
+  std::vector<ScoreboardEntry> entries_;
+};
+
+}  // namespace topick::accel

@@ -1,0 +1,24 @@
+#include "analytic/traffic.h"
+
+#include "common/require.h"
+
+namespace topick::an {
+
+TrafficBreakdown generation_step_traffic(const ModelConfig& config, int batch,
+                                         int context_len, int weight_bits,
+                                         int kv_bits) {
+  require(batch > 0, "traffic: batch must be positive");
+  require(context_len > 0 && context_len <= config.max_seq,
+          "traffic: context_len out of range for model");
+  TrafficBreakdown breakdown;
+  breakdown.weight_bytes = static_cast<double>(config.block_params()) *
+                           weight_bits / 8.0;
+  breakdown.embedding_bytes = static_cast<double>(config.embedding_params()) *
+                              weight_bits / 8.0;
+  breakdown.kv_bytes =
+      static_cast<double>(batch) *
+      static_cast<double>(config.kv_cache_bytes(kv_bits, context_len));
+  return breakdown;
+}
+
+}  // namespace topick::an

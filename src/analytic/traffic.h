@@ -1,0 +1,37 @@
+// Closed-form off-chip traffic model for the generation phase (Fig. 2).
+//
+// One decode step moves: the transformer-block weights and the output
+// embedding once (shared by the whole batch), and each request's KV cache.
+// As batch grows, the shared weight traffic amortizes and KV dominates —
+// the paper's motivation for attacking KV transfers.
+#pragma once
+
+#include <cstdint>
+
+#include "model/config.h"
+
+namespace topick::an {
+
+struct TrafficBreakdown {
+  double weight_bytes = 0.0;     // transformer blocks (pretrained weights)
+  double embedding_bytes = 0.0;  // token/position embedding + output head
+  double kv_bytes = 0.0;         // KV caching, summed over the batch
+
+  double total() const { return weight_bytes + embedding_bytes + kv_bytes; }
+  double kv_fraction() const { return total() > 0 ? kv_bytes / total() : 0.0; }
+  double weight_fraction() const {
+    return total() > 0 ? weight_bytes / total() : 0.0;
+  }
+  double embedding_fraction() const {
+    return total() > 0 ? embedding_bytes / total() : 0.0;
+  }
+};
+
+// Traffic for one generation step at the given batch size and context
+// length. weight_bits: parameter precision (fp16 = 16); kv_bits: KV cache
+// element precision (16 baseline, 12 for ToPick's operand format).
+TrafficBreakdown generation_step_traffic(const ModelConfig& config, int batch,
+                                         int context_len, int weight_bits = 16,
+                                         int kv_bits = 16);
+
+}  // namespace topick::an

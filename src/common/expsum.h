@@ -1,0 +1,50 @@
+// Numerically robust accumulator for sums of exponentials with removal.
+//
+// The Token-Picker denominator D = sum_j exp(s_min_j) is built incrementally:
+// tokens add a term when they survive a prune decision, replace their term
+// when a new bit chunk tightens s_min, and (under the remove-on-prune policy)
+// delete their term when pruned. Scores can be large, so terms are stored
+// relative to a running maximum shift: D = exp(shift) * acc.
+#pragma once
+
+#include <cstddef>
+
+namespace topick {
+
+class ShiftedExpSum {
+ public:
+  ShiftedExpSum() = default;
+
+  // Adds exp(x) to the sum.
+  void add(double x);
+
+  // Removes exp(x) from the sum. x must have been previously added (or be the
+  // current value of a replaced term); the sum is clamped at zero to absorb
+  // rounding residue.
+  void remove(double x);
+
+  // Replaces exp(old_x) with exp(new_x): the per-chunk denominator update
+  // exp(s_min^b) - exp(s_min^{b-1}) performed by the PEC/DAG pair.
+  void replace(double old_x, double new_x);
+
+  // Natural log of the sum; -infinity when empty.
+  double log() const;
+
+  // The sum itself (may overflow to +inf for extreme shifts; log() is safe).
+  double value() const;
+
+  bool empty() const { return terms_ == 0; }
+  std::size_t terms() const { return terms_; }
+
+ private:
+  void rescale(double new_shift);
+
+  double shift_ = 0.0;  // current exponent shift
+  double acc_ = 0.0;    // sum of exp(x - shift_)
+  std::size_t terms_ = 0;
+};
+
+// One-shot log(sum(exp(xs))) over a range.
+double log_sum_exp(const double* xs, std::size_t n);
+
+}  // namespace topick

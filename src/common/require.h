@@ -1,0 +1,17 @@
+// Lightweight precondition / invariant checking.
+//
+// The library throws std::logic_error for programmer errors (bad shapes,
+// invalid configs) so that tests can assert on failure modes, per the
+// Core Guidelines preference for detectable contract violations over UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace topick {
+
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace topick

@@ -1,0 +1,60 @@
+// Streaming statistics and histograms used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace topick {
+
+// Welford-style streaming mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-range linear histogram. Out-of-range samples land in the edge bins so
+// no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_center(std::size_t bin) const;
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  // Renders a fixed-width ASCII bar chart (one line per bin), for benches.
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Exact percentile over a sample vector (copies + sorts; fine for harnesses).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace topick

@@ -1,0 +1,36 @@
+// Plain-text table rendering for the experiment harnesses.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// printer keeps those tables aligned and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace topick {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; each cell is preformatted text. Row width must match headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_pct(double fraction, int precision = 1);
+  static std::string fmt_ratio(double v, int precision = 2);  // e.g. "2.57x"
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Writes rows as CSV (used to persist experiment outputs next to the tables).
+std::string to_csv(const std::vector<std::string>& headers,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace topick

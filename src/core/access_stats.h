@@ -1,0 +1,67 @@
+// Off-chip access accounting shared by the functional model and the
+// cycle-level accelerator (the quantities behind Figs. 8 and 9).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace topick {
+
+struct AccessStats {
+  // Bits actually fetched from DRAM.
+  std::uint64_t k_bits_fetched = 0;
+  std::uint64_t v_bits_fetched = 0;
+  // Bits a no-pruning baseline would fetch for the same instances.
+  std::uint64_t k_bits_baseline = 0;
+  std::uint64_t v_bits_baseline = 0;
+
+  std::uint64_t tokens_total = 0;
+  std::uint64_t tokens_kept = 0;
+  // chunk_histogram[c] counts tokens that fetched exactly c+1 K chunks.
+  std::array<std::uint64_t, 8> chunk_histogram{};
+
+  void merge(const AccessStats& other) {
+    k_bits_fetched += other.k_bits_fetched;
+    v_bits_fetched += other.v_bits_fetched;
+    k_bits_baseline += other.k_bits_baseline;
+    v_bits_baseline += other.v_bits_baseline;
+    tokens_total += other.tokens_total;
+    tokens_kept += other.tokens_kept;
+    for (std::size_t i = 0; i < chunk_histogram.size(); ++i) {
+      chunk_histogram[i] += other.chunk_histogram[i];
+    }
+  }
+
+  std::uint64_t total_bits_fetched() const {
+    return k_bits_fetched + v_bits_fetched;
+  }
+  std::uint64_t total_bits_baseline() const {
+    return k_bits_baseline + v_bits_baseline;
+  }
+
+  // Reduction ratios as the paper reports them (baseline / ours).
+  double k_reduction() const {
+    return k_bits_fetched ? static_cast<double>(k_bits_baseline) /
+                                static_cast<double>(k_bits_fetched)
+                          : 0.0;
+  }
+  double v_reduction() const {
+    return v_bits_fetched ? static_cast<double>(v_bits_baseline) /
+                                static_cast<double>(v_bits_fetched)
+                          : 0.0;
+  }
+  double total_reduction() const {
+    return total_bits_fetched()
+               ? static_cast<double>(total_bits_baseline()) /
+                     static_cast<double>(total_bits_fetched())
+               : 0.0;
+  }
+  // The "pruning ratio" headline (12.1x): total / kept tokens.
+  double pruning_ratio() const {
+    return tokens_kept ? static_cast<double>(tokens_total) /
+                             static_cast<double>(tokens_kept)
+                       : 0.0;
+  }
+};
+
+}  // namespace topick

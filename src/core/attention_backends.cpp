@@ -1,0 +1,118 @@
+#include "core/attention_backends.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expsum.h"
+#include "common/require.h"
+
+namespace topick {
+
+ExactQuantizedBackend::ExactQuantizedBackend(const fx::QuantParams& quant)
+    : quant_(quant) {}
+
+void ExactQuantizedBackend::attend(std::span<const float> q,
+                                   const KvHeadView& kv, std::span<float> out,
+                                   const AttentionContext&) {
+  auto result = exact_attention_quantized(q, kv, quant_);
+  require(out.size() == result.output.size(), "backend: out size mismatch");
+  std::copy(result.output.begin(), result.output.end(), out.begin());
+}
+
+TokenPickerBackend::TokenPickerBackend(const TokenPickerConfig& config)
+    : op_(config) {}
+
+void TokenPickerBackend::begin_sequence() {}
+
+void TokenPickerBackend::attend(std::span<const float> q, const KvHeadView& kv,
+                                std::span<float> out,
+                                const AttentionContext&) {
+  auto result = op_.attend(q, kv);
+  require(out.size() == result.output.size(), "backend: out size mismatch");
+  std::copy(result.output.begin(), result.output.end(), out.begin());
+  stats_.merge(result.stats);
+  max_dropped_mass_ = std::max(max_dropped_mass_, result.oracle_dropped_mass);
+}
+
+SpAttenBackend::SpAttenBackend(const SpAttenConfig& config, int n_layer,
+                               int n_head, std::size_t max_tokens)
+    : config_(config),
+      pruner_(config, n_layer),
+      n_head_(n_head),
+      max_tokens_(max_tokens) {
+  pruner_.begin_sequence(max_tokens);
+}
+
+void SpAttenBackend::begin_sequence() { pruner_.begin_sequence(max_tokens_); }
+
+void SpAttenBackend::attend(std::span<const float> q, const KvHeadView& kv,
+                            std::span<float> out, const AttentionContext& ctx) {
+  require(kv.len > 0, "SpAttenBackend: empty KV view");
+  const auto active = pruner_.active_tokens(ctx.layer, kv.len);
+  const auto full_vector_bits =
+      static_cast<std::uint64_t>(kv.head_dim) * config_.quant.total_bits;
+
+  // Quantize the active subset (12-bit operands for parity with ToPick).
+  const QuantizedKv qkv = quantize_kv(kv, config_.quant);
+  fx::QuantParams qp = config_.quant;
+  qp.scale = fx::choose_scale(q, config_.quant.total_bits);
+  const fx::QuantizedVector qq = fx::quantize(q, qp);
+  const double score_scale =
+      static_cast<double>(qp.scale) * qkv.keys[0].params.scale /
+      std::sqrt(static_cast<double>(kv.head_dim));
+
+  std::vector<double> scores(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    scores[i] =
+        static_cast<double>(fx::dot_i64(qq, qkv.keys[active[i]])) * score_scale;
+  }
+  const double log_denom = log_sum_exp(scores.data(), scores.size());
+  std::vector<double> probs(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    probs[i] = std::exp(scores[i] - log_denom);
+  }
+
+  // Access accounting: K for every active token; V under local value pruning.
+  stats_.tokens_total += kv.len;
+  stats_.k_bits_baseline += full_vector_bits * kv.len;
+  stats_.v_bits_baseline += full_vector_bits * kv.len;
+  stats_.k_bits_fetched += full_vector_bits * active.size();
+
+  const float v_scale = qkv.values[0].params.scale;
+  std::fill(out.begin(), out.end(), 0.0f);
+  std::size_t v_fetched = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (probs[i] <= config_.value_prob_threshold) continue;
+    ++v_fetched;
+    const auto& value = qkv.values[active[i]];
+    for (std::size_t d = 0; d < kv.head_dim; ++d) {
+      out[d] += static_cast<float>(probs[i] *
+                                   static_cast<double>(value.values[d]) *
+                                   v_scale);
+    }
+  }
+  stats_.v_bits_fetched += full_vector_bits * v_fetched;
+  stats_.tokens_kept += v_fetched;
+
+  pruner_.accumulate_importance(active, probs);
+}
+
+RecordingBackend::RecordingBackend(Sink sink) : sink_(std::move(sink)) {
+  require(static_cast<bool>(sink_), "RecordingBackend: sink required");
+}
+
+void RecordingBackend::attend(std::span<const float> q, const KvHeadView& kv,
+                              std::span<float> out,
+                              const AttentionContext& ctx) {
+  auto result = exact_attention_f32(q, kv);
+  require(out.size() == result.output.size(), "backend: out size mismatch");
+  std::copy(result.output.begin(), result.output.end(), out.begin());
+  ProbRecord record;
+  record.layer = ctx.layer;
+  record.head = ctx.head;
+  record.position = ctx.position;
+  record.probs = std::move(result.probs);
+  sink_(record);
+}
+
+}  // namespace topick

@@ -1,0 +1,71 @@
+// Conservative attention-probability estimation (paper §3.1).
+//
+// For token i at chunk level b with score bracket [s_min, s_max]:
+//     p''_i = exp(s_max_i) / sum_{j in subset} exp(s_min_j)  >=  p_i,
+// so p'' <= thr implies the true full-softmax probability is below thr and
+// the token can be dropped safely. The comparison runs in the log domain
+// (s_max - ln D <= ln thr), exactly as the RPDU evaluates it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/expsum.h"
+
+namespace topick {
+
+enum class DenominatorPolicy {
+  // Remove a token's exp(s_min) term when it is pruned; after step 0 the
+  // denominator is the exponentiated sum of the surviving scores (the paper's
+  // description of the DAG state, and the default).
+  remove_on_prune,
+  // Leave the stale term in place. Cheaper in hardware and still conservative
+  // (the stale term underestimates the token's true exp). Ablation only.
+  keep_stale,
+};
+
+struct EstimatorConfig {
+  double threshold = 1e-3;  // thr: attention-probability cutoff; 0 disables
+  DenominatorPolicy policy = DenominatorPolicy::remove_on_prune;
+  // Model the RPDU's Q16.16 fixed-point comparison (Table 1's EXP units).
+  // Rounding is directed so a fixed-point prune is still provably safe:
+  // s_max rounds up, ln(D) and ln(thr) round down.
+  bool fixed_point_compare = false;
+};
+
+class ProbabilityEstimator {
+ public:
+  explicit ProbabilityEstimator(const EstimatorConfig& config);
+
+  // Starts a fresh attention instance over `num_tokens` tokens.
+  void reset(std::size_t num_tokens);
+
+  // RPDU decision: should the token with upper score bound s_max be pruned,
+  // given the current denominator? Never prunes when the denominator is empty
+  // or the threshold is zero.
+  bool should_prune(double s_max) const;
+
+  // Upper bound p'' for diagnostics (may exceed 1 early on).
+  double estimate_upper(double s_max) const;
+
+  // Registers / tightens a surviving token's denominator term exp(s_min).
+  // First call for a token adds, later calls replace (the PEC/DAG update).
+  void update_token(std::size_t token, double s_min);
+
+  // Marks a token pruned; under remove_on_prune its term leaves the
+  // denominator.
+  void mark_pruned(std::size_t token);
+
+  double log_denominator() const { return denom_.log(); }
+  const EstimatorConfig& config() const { return config_; }
+
+ private:
+  EstimatorConfig config_;
+  double log_threshold_;
+  ShiftedExpSum denom_;
+  // Last s_min registered per token; NaN = no contribution present.
+  std::vector<double> contribution_;
+};
+
+}  // namespace topick

@@ -1,0 +1,111 @@
+#include "core/exact_attention.h"
+
+#include <cmath>
+
+#include "common/expsum.h"
+#include "common/require.h"
+
+namespace topick {
+
+ExactAttentionResult exact_attention_f32(std::span<const float> q,
+                                         const KvHeadView& kv) {
+  require(kv.len > 0, "exact_attention: empty KV view");
+  require(q.size() == kv.head_dim, "exact_attention: q size mismatch");
+
+  ExactAttentionResult result;
+  result.scores.resize(kv.len);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(kv.head_dim));
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    auto key = kv.key(t);
+    double acc = 0.0;
+    for (std::size_t d = 0; d < kv.head_dim; ++d) {
+      acc += static_cast<double>(q[d]) * key[d];
+    }
+    result.scores[t] = acc * inv_sqrt_d;
+  }
+
+  const double log_denom = log_sum_exp(result.scores.data(), kv.len);
+  result.probs.resize(kv.len);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    result.probs[t] = std::exp(result.scores[t] - log_denom);
+  }
+
+  result.output.assign(kv.head_dim, 0.0f);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    auto value = kv.value(t);
+    const auto p = static_cast<float>(result.probs[t]);
+    for (std::size_t d = 0; d < kv.head_dim; ++d) {
+      result.output[d] += p * value[d];
+    }
+  }
+  return result;
+}
+
+QuantizedKv quantize_kv(const KvHeadView& kv, const fx::QuantParams& base) {
+  QuantizedKv out;
+  // Shared scale across the head's cache, as stored on-device.
+  std::vector<float> all_k, all_v;
+  all_k.reserve(kv.len * kv.head_dim);
+  all_v.reserve(kv.len * kv.head_dim);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    auto key = kv.key(t);
+    auto value = kv.value(t);
+    all_k.insert(all_k.end(), key.begin(), key.end());
+    all_v.insert(all_v.end(), value.begin(), value.end());
+  }
+  fx::QuantParams kp = base;
+  kp.scale = fx::choose_scale(all_k, base.total_bits);
+  fx::QuantParams vp = base;
+  vp.scale = fx::choose_scale(all_v, base.total_bits);
+
+  out.keys.reserve(kv.len);
+  out.values.reserve(kv.len);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    out.keys.push_back(fx::quantize(kv.key(t), kp));
+    out.values.push_back(fx::quantize(kv.value(t), vp));
+  }
+  return out;
+}
+
+ExactAttentionResult exact_attention_quantized(std::span<const float> q,
+                                               const KvHeadView& kv,
+                                               const fx::QuantParams& base) {
+  require(kv.len > 0, "exact_attention_quantized: empty KV view");
+  require(q.size() == kv.head_dim, "exact_attention_quantized: q size");
+
+  const QuantizedKv qkv = quantize_kv(kv, base);
+  fx::QuantParams qp = base;
+  qp.scale = fx::choose_scale(q, base.total_bits);
+  const fx::QuantizedVector qq = fx::quantize(q, qp);
+
+  const double score_scale =
+      static_cast<double>(qp.scale) * qkv.keys[0].params.scale /
+      std::sqrt(static_cast<double>(kv.head_dim));
+
+  ExactAttentionResult result;
+  result.scores.resize(kv.len);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    result.scores[t] =
+        static_cast<double>(fx::dot_i64(qq, qkv.keys[t])) * score_scale;
+  }
+
+  const double log_denom = log_sum_exp(result.scores.data(), kv.len);
+  result.probs.resize(kv.len);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    result.probs[t] = std::exp(result.scores[t] - log_denom);
+  }
+
+  result.output.assign(kv.head_dim, 0.0f);
+  const float v_scale = qkv.values[0].params.scale;
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    const auto& value = qkv.values[t];
+    const auto p = result.probs[t];
+    for (std::size_t d = 0; d < kv.head_dim; ++d) {
+      result.output[d] += static_cast<float>(
+          p * static_cast<double>(value.values[d]) * v_scale);
+    }
+  }
+  return result;
+}
+
+}  // namespace topick

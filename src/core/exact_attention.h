@@ -1,0 +1,40 @@
+// Reference attention implementations: exact float softmax and the 12-bit
+// quantized exact path (what ToPick computes when nothing is pruned).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fixedpoint/quant.h"
+#include "model/kv_cache.h"
+
+namespace topick {
+
+struct ExactAttentionResult {
+  std::vector<float> output;   // head_dim
+  std::vector<double> probs;   // len: full softmax probabilities
+  std::vector<double> scores;  // len: pre-softmax scaled scores
+};
+
+// Full-precision float reference.
+ExactAttentionResult exact_attention_f32(std::span<const float> q,
+                                         const KvHeadView& kv);
+
+// Quantized reference: Q/K/V quantized with the given precision (paper: 12-bit
+// operands), scores computed exactly in integers, softmax in double. This is
+// the semantics Token-Picker must match bit-for-bit at thr = 0.
+ExactAttentionResult exact_attention_quantized(std::span<const float> q,
+                                               const KvHeadView& kv,
+                                               const fx::QuantParams& base =
+                                                   fx::QuantParams{});
+
+// Quantizes each cache row with a shared per-view scale (how the KV cache is
+// stored on-device). Exposed for reuse by the Token-Picker operator and the
+// accelerator model.
+struct QuantizedKv {
+  std::vector<fx::QuantizedVector> keys;
+  std::vector<fx::QuantizedVector> values;
+};
+QuantizedKv quantize_kv(const KvHeadView& kv, const fx::QuantParams& base);
+
+}  // namespace topick

@@ -1,0 +1,45 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/require.h"
+
+namespace topick {
+
+std::vector<std::size_t> make_visit_order(std::size_t num_tokens,
+                                          OrderingPolicy policy, Rng* rng) {
+  require(num_tokens > 0, "make_visit_order: need at least one token");
+  std::vector<std::size_t> order;
+  order.reserve(num_tokens);
+
+  switch (policy) {
+    case OrderingPolicy::reverse_chrono_first_promoted: {
+      order.push_back(num_tokens - 1);
+      if (num_tokens > 1) order.push_back(0);
+      for (std::size_t i = num_tokens - 1; i-- > 1;) order.push_back(i);
+      break;
+    }
+    case OrderingPolicy::reverse_chrono: {
+      for (std::size_t i = num_tokens; i-- > 0;) order.push_back(i);
+      break;
+    }
+    case OrderingPolicy::chrono: {
+      order.resize(num_tokens);
+      std::iota(order.begin(), order.end(), 0);
+      break;
+    }
+    case OrderingPolicy::random_order: {
+      require(rng != nullptr, "random_order requires an Rng");
+      order.resize(num_tokens);
+      std::iota(order.begin(), order.end(), 0);
+      for (std::size_t i = num_tokens; i > 1; --i) {
+        std::swap(order[i - 1], order[rng->uniform_index(i)]);
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace topick

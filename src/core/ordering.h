@@ -1,0 +1,27 @@
+// Visit-order policies for the estimation pass (paper §3.1, Fig. 4(a)).
+//
+// Pruning power grows when dominant tokens enter the denominator early, so the
+// paper starts from the most recent token and walks backwards, with the first
+// token (the attention sink) promoted to the front as well.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topick {
+
+enum class OrderingPolicy {
+  // newest, first token, newest-1, newest-2, ... (paper default)
+  reverse_chrono_first_promoted,
+  reverse_chrono,   // newest ... oldest
+  chrono,           // oldest ... newest (worst case for early pruning)
+  random_order,     // ablation
+};
+
+std::vector<std::size_t> make_visit_order(std::size_t num_tokens,
+                                          OrderingPolicy policy,
+                                          Rng* rng = nullptr);
+
+}  // namespace topick

@@ -1,0 +1,79 @@
+#include "core/spatten.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.h"
+
+namespace topick {
+
+SpAttenPruner::SpAttenPruner(const SpAttenConfig& config, int n_layer)
+    : config_(config), n_layer_(n_layer) {
+  require(config.final_keep_ratio > 0.0 && config.final_keep_ratio <= 1.0,
+          "SpAttenConfig: final_keep_ratio must be in (0, 1]");
+  require(config.start_layer >= 0, "SpAttenConfig: start_layer must be >= 0");
+  require(n_layer > 0, "SpAttenPruner: n_layer must be positive");
+}
+
+void SpAttenPruner::begin_sequence(std::size_t max_tokens) {
+  importance_.assign(max_tokens, 0.0);
+}
+
+std::size_t SpAttenPruner::keep_count(int layer, std::size_t current_len) const {
+  require(layer >= 0 && layer < n_layer_, "SpAttenPruner: layer out of range");
+  if (current_len == 0) return 0;
+  double ratio = 1.0;
+  if (layer >= config_.start_layer && n_layer_ > config_.start_layer) {
+    const double depth =
+        static_cast<double>(layer - config_.start_layer + 1) /
+        static_cast<double>(n_layer_ - config_.start_layer);
+    ratio = 1.0 + depth * (config_.final_keep_ratio - 1.0);
+  }
+  const auto keep = static_cast<std::size_t>(
+      std::lround(ratio * static_cast<double>(current_len)));
+  return std::clamp<std::size_t>(keep, 1, current_len);
+}
+
+std::vector<std::size_t> SpAttenPruner::active_tokens(
+    int layer, std::size_t current_len) const {
+  require(current_len <= importance_.size(),
+          "SpAttenPruner: sequence longer than begin_sequence() capacity");
+  const std::size_t keep = keep_count(layer, current_len);
+
+  std::vector<std::size_t> order(current_len);
+  std::iota(order.begin(), order.end(), 0);
+  // Newest token ranks first (importance unknown), then by cumulative
+  // importance; ties broken towards recency for determinism.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const bool a_new = (a == current_len - 1);
+                     const bool b_new = (b == current_len - 1);
+                     if (a_new != b_new) return a_new;
+                     if (importance_[a] != importance_[b]) {
+                       return importance_[a] > importance_[b];
+                     }
+                     return a > b;
+                   });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+void SpAttenPruner::accumulate_importance(
+    const std::vector<std::size_t>& tokens, const std::vector<double>& probs) {
+  require(tokens.size() == probs.size(),
+          "accumulate_importance: token/prob count mismatch");
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    require(tokens[i] < importance_.size(),
+            "accumulate_importance: token out of range");
+    importance_[tokens[i]] += probs[i];
+  }
+}
+
+double SpAttenPruner::importance(std::size_t token) const {
+  require(token < importance_.size(), "importance: token out of range");
+  return importance_[token];
+}
+
+}  // namespace topick

@@ -1,0 +1,61 @@
+// SpAtten-style cascade token pruning (Wang et al., HPCA 2021) — the fixed-
+// ratio baseline the paper compares against in Fig. 9.
+//
+// Differences from Token-Picker that the comparison exercises:
+//   * importance is *accumulated* attention probability across heads/layers,
+//     and the keep count is a pre-defined ratio of the context — it does not
+//     adapt to per-instance score spread;
+//   * pruning cascades across layers (a token pruned at layer l stays pruned
+//     for all deeper layers and later steps);
+//   * every surviving token still moves its full 12-bit K vector (no chunked
+//     early exit), plus V under local value pruning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/access_stats.h"
+#include "fixedpoint/quant.h"
+
+namespace topick {
+
+struct SpAttenConfig {
+  // Fraction of tokens kept at the deepest layer; layers ramp linearly from
+  // 1.0 at start_layer down to this value.
+  double final_keep_ratio = 0.5;
+  int start_layer = 1;              // layers before this never prune
+  // Local value pruning: V is fetched only for tokens whose attention
+  // probability exceeds this (0 fetches every survivor's V).
+  double value_prob_threshold = 0.0;
+  fx::QuantParams quant;            // 12-bit operands for parity with ToPick
+};
+
+// Tracks cumulative importance and the cascade across layers for one
+// generated sequence.
+class SpAttenPruner {
+ public:
+  SpAttenPruner(const SpAttenConfig& config, int n_layer);
+
+  void begin_sequence(std::size_t max_tokens);
+
+  // Number of tokens layer `layer` may keep out of `current_len`.
+  std::size_t keep_count(int layer, std::size_t current_len) const;
+
+  // The active token set for a layer, ranked by cumulative importance (the
+  // newest token is always active: its importance is not yet known).
+  std::vector<std::size_t> active_tokens(int layer, std::size_t current_len) const;
+
+  // Accumulates head-summed attention probabilities for the active tokens.
+  void accumulate_importance(const std::vector<std::size_t>& tokens,
+                             const std::vector<double>& probs);
+
+  double importance(std::size_t token) const;
+  const SpAttenConfig& config() const { return config_; }
+
+ private:
+  SpAttenConfig config_;
+  int n_layer_;
+  std::vector<double> importance_;
+};
+
+}  // namespace topick

@@ -1,0 +1,148 @@
+#include "core/token_picker.h"
+
+#include <cmath>
+
+#include "common/expsum.h"
+#include "common/require.h"
+#include "fixedpoint/chunks.h"
+#include "fixedpoint/margin.h"
+
+namespace topick {
+
+TokenPickerAttention::TokenPickerAttention(const TokenPickerConfig& config)
+    : config_(config),
+      estimator_(config.estimator),
+      order_rng_(config.order_seed) {}
+
+TokenPickerResult TokenPickerAttention::attend(std::span<const float> q,
+                                               const KvHeadView& kv) {
+  require(kv.len > 0, "TokenPickerAttention: empty KV view");
+  require(q.size() == kv.head_dim, "TokenPickerAttention: q size mismatch");
+
+  const QuantizedKv qkv = quantize_kv(kv, config_.quant);
+  fx::QuantParams qp = config_.quant;
+  qp.scale = fx::choose_scale(q, config_.quant.total_bits);
+  const fx::QuantizedVector qq = fx::quantize(q, qp);
+
+  const double score_scale =
+      static_cast<double>(qp.scale) * qkv.keys[0].params.scale /
+      std::sqrt(static_cast<double>(kv.head_dim));
+  return attend_quantized(qq, qkv, score_scale);
+}
+
+TokenPickerResult TokenPickerAttention::attend_quantized(
+    const fx::QuantizedVector& q, const QuantizedKv& kv, double score_scale) {
+  const std::size_t len = kv.keys.size();
+  require(len > 0, "attend_quantized: no tokens");
+  require(kv.values.size() == len, "attend_quantized: K/V length mismatch");
+  const std::size_t head_dim = q.size();
+  const fx::QuantParams& kp = kv.keys[0].params;
+  const int num_chunks = kp.num_chunks();
+
+  TokenPickerResult result;
+  result.decisions.reserve(len);
+  estimator_.reset(len);
+
+  const fx::MarginTable margins(q, kp);
+  const auto order = make_visit_order(
+      len, config_.order,
+      config_.order == OrderingPolicy::random_order ? &order_rng_ : nullptr);
+
+  const auto chunk_bits_per_fetch =
+      static_cast<std::uint64_t>(head_dim) * kp.chunk_bits;
+  const auto full_vector_bits =
+      static_cast<std::uint64_t>(head_dim) * kp.total_bits;
+
+  result.stats.tokens_total = len;
+  result.stats.k_bits_baseline = full_vector_bits * len;
+  result.stats.v_bits_baseline = full_vector_bits * len;
+
+  std::vector<double> survivor_scores(len, 0.0);
+  std::vector<bool> kept(len, false);
+
+  for (const std::size_t token : order) {
+    const auto& key = kv.keys[token];
+    std::int64_t partial = 0;
+    TokenDecision decision;
+    decision.token = token;
+
+    bool pruned = false;
+    for (int b = 0; b < num_chunks; ++b) {
+      partial += fx::chunk_dot_delta_i64(q, key, b);
+      result.stats.k_bits_fetched += chunk_bits_per_fetch;
+      ++decision.chunks_fetched;
+
+      const auto& margin = margins.at_level(b + 1);
+      const double s_max =
+          static_cast<double>(partial + margin.max_margin) * score_scale;
+      const double s_min =
+          static_cast<double>(partial + margin.min_margin) * score_scale;
+
+      if (estimator_.should_prune(s_max)) {
+        decision.upper_bound_at_prune = estimator_.estimate_upper(s_max);
+        estimator_.mark_pruned(token);
+        pruned = true;
+        break;
+      }
+      estimator_.update_token(token, s_min);
+    }
+
+    if (!pruned) {
+      decision.kept = true;
+      decision.final_score = static_cast<double>(partial) * score_scale;
+      survivor_scores[token] = decision.final_score;
+      kept[token] = true;
+      ++result.stats.tokens_kept;
+      result.stats.v_bits_fetched += full_vector_bits;
+    }
+    result.stats
+        .chunk_histogram[static_cast<std::size_t>(decision.chunks_fetched - 1)]++;
+    result.decisions.push_back(decision);
+  }
+
+  // Step 1: renormalized softmax over survivors, weighted V sum. The final
+  // denominator is the exact log-sum-exp over survivor scores; under
+  // remove_on_prune this is what the DAG holds after step 0.
+  result.log_denominator_estimator = estimator_.log_denominator();
+  {
+    std::vector<double> surv;
+    surv.reserve(result.stats.tokens_kept);
+    for (std::size_t t = 0; t < len; ++t) {
+      if (kept[t]) surv.push_back(survivor_scores[t]);
+    }
+    require(!surv.empty(),
+            "token_picker: at least one token must survive estimation");
+    result.log_denominator = log_sum_exp(surv.data(), surv.size());
+  }
+  result.output.assign(head_dim, 0.0f);
+  const float v_scale = kv.values[0].params.scale;
+  for (std::size_t t = 0; t < len; ++t) {
+    if (!kept[t]) continue;
+    const double p = std::exp(survivor_scores[t] - result.log_denominator);
+    const auto& value = kv.values[t];
+    for (std::size_t d = 0; d < head_dim; ++d) {
+      result.output[d] += static_cast<float>(
+          p * static_cast<double>(value.values[d]) * v_scale);
+    }
+  }
+
+  // Oracle diagnostic: true probability mass of pruned tokens under the full
+  // quantized softmax (uses data already in memory; no fetch accounting).
+  {
+    std::vector<double> all_scores(len);
+    for (std::size_t t = 0; t < len; ++t) {
+      all_scores[t] =
+          static_cast<double>(fx::dot_i64(q, kv.keys[t])) * score_scale;
+    }
+    const double log_denom = log_sum_exp(all_scores.data(), len);
+    double dropped = 0.0;
+    for (std::size_t t = 0; t < len; ++t) {
+      if (!kept[t]) dropped += std::exp(all_scores[t] - log_denom);
+    }
+    result.oracle_dropped_mass = dropped;
+  }
+
+  return result;
+}
+
+}  // namespace topick

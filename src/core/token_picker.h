@@ -1,0 +1,78 @@
+// Token-Picker attention (the paper's core contribution, §3).
+//
+// For one query over a cached K/V head:
+//   1. Quantize Q and the cache to 12-bit; build margin pairs from Q alone.
+//   2. Visit tokens newest-first with the first token promoted. For each
+//      token, fetch K chunks MSB-first; after each chunk evaluate the
+//      conservative bound p'' and either prune (skip remaining K chunks and
+//      the whole V vector) or fetch the next chunk.
+//   3. Survivors enter a renormalized softmax; only their V vectors are
+//      fetched for the weighted sum.
+// Every DRAM bit that would move is accounted in AccessStats.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/access_stats.h"
+#include "core/estimator.h"
+#include "core/exact_attention.h"
+#include "core/ordering.h"
+#include "fixedpoint/quant.h"
+#include "model/kv_cache.h"
+
+namespace topick {
+
+struct TokenPickerConfig {
+  EstimatorConfig estimator;
+  fx::QuantParams quant;  // 12-bit / 4-bit chunks by default
+  OrderingPolicy order = OrderingPolicy::reverse_chrono_first_promoted;
+  // When set, the random ordering policy uses this seed.
+  std::uint64_t order_seed = 0x70c4;
+};
+
+// Per-token outcome of the estimation pass.
+struct TokenDecision {
+  std::size_t token = 0;
+  int chunks_fetched = 0;
+  bool kept = false;
+  double final_score = 0.0;       // defined for kept tokens
+  double upper_bound_at_prune = 0.0;  // p'' that triggered the prune
+};
+
+struct TokenPickerResult {
+  std::vector<float> output;          // head_dim
+  AccessStats stats;                  // this call only
+  std::vector<TokenDecision> decisions;
+  double log_denominator = 0.0;       // ln sum over survivor scores (exact)
+  // Denominator as tracked by the estimator/DAG. Equals log_denominator under
+  // remove_on_prune; under keep_stale it also carries stale pruned terms.
+  double log_denominator_estimator = 0.0;
+  // True full-softmax probability mass of the pruned tokens, computed from
+  // the quantized exact reference (oracle diagnostic; costs no "fetches").
+  double oracle_dropped_mass = 0.0;
+};
+
+class TokenPickerAttention {
+ public:
+  explicit TokenPickerAttention(const TokenPickerConfig& config);
+
+  TokenPickerResult attend(std::span<const float> q, const KvHeadView& kv);
+
+  // Variant for pre-quantized inputs (used by the accelerator model and by
+  // workloads that generate integer tensors directly). score_scale converts
+  // integer dot products to softmax-logit units.
+  TokenPickerResult attend_quantized(const fx::QuantizedVector& q,
+                                     const QuantizedKv& kv,
+                                     double score_scale);
+
+  const TokenPickerConfig& config() const { return config_; }
+
+ private:
+  TokenPickerConfig config_;
+  ProbabilityEstimator estimator_;
+  Rng order_rng_;
+};
+
+}  // namespace topick

@@ -1,0 +1,135 @@
+#include "fixedpoint/fxexp.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/require.h"
+
+namespace topick::fx {
+
+namespace {
+
+// log2(e) and ln(2) in Q16.16.
+constexpr std::int64_t kLog2e = 94548;   // 1.442695 * 2^16 (truncated)
+constexpr std::int64_t kLn2 = 45426;     // 0.693147 * 2^16 (truncated)
+
+// 2^(i/64) for i in [0, 64], Q16.16 (values in [65536, 131072]).
+const std::array<std::uint32_t, 65>& pow2_table() {
+  static const std::array<std::uint32_t, 65> table = [] {
+    std::array<std::uint32_t, 65> t{};
+    for (int i = 0; i <= 64; ++i) {
+      t[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+          std::lround(std::ldexp(std::exp2(i / 64.0), 16)));
+    }
+    return t;
+  }();
+  return table;
+}
+
+// ln(1 + i/64) for i in [0, 64], Q16.16.
+const std::array<std::uint32_t, 65>& ln_table() {
+  static const std::array<std::uint32_t, 65> table = [] {
+    std::array<std::uint32_t, 65> t{};
+    for (int i = 0; i <= 64; ++i) {
+      t[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+          std::lround(std::log1p(i / 64.0) * 65536.0));
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Relative guard bands covering LUT rounding (+-0.5 ulp), linear-interp
+// curvature (< 3e-5 relative) and the Q16 constant truncation (< 2e-5
+// relative). Verified exhaustively by the FxExp bound tests.
+std::uint32_t guard_down(std::uint64_t v) {
+  const std::uint64_t band = (v >> 12) + 2;
+  return static_cast<std::uint32_t>(v > band ? v - band : 0);
+}
+std::uint32_t guard_up(std::uint64_t v) {
+  const std::uint64_t band = (v >> 12) + 2;
+  const std::uint64_t out = v + band;
+  return out > std::numeric_limits<std::uint32_t>::max()
+             ? std::numeric_limits<std::uint32_t>::max()
+             : static_cast<std::uint32_t>(out);
+}
+
+}  // namespace
+
+q16_16 to_q16(double x) {
+  const double scaled = x * kExpScale;
+  const double clamped =
+      std::clamp(scaled, static_cast<double>(std::numeric_limits<q16_16>::min()),
+                 static_cast<double>(std::numeric_limits<q16_16>::max()));
+  return static_cast<q16_16>(std::lround(clamped));
+}
+
+double from_q16(q16_16 x) { return static_cast<double>(x) / kExpScale; }
+double from_uq16(uq16_16 x) { return static_cast<double>(x) / kExpScale; }
+
+uq16_16 fxexp(q16_16 x, ExpRounding rounding) {
+  // y = x * log2(e), Q16.16; >> floors toward -inf for negatives, which
+  // only ever under-estimates y (handled by the guard bands).
+  const std::int64_t y = (static_cast<std::int64_t>(x) * kLog2e) >> 16;
+  const std::int64_t n = y >> 16;                       // floor exponent
+  const auto frac = static_cast<std::uint32_t>(y & 0xFFFF);  // Q0.16
+
+  // Out-of-range saturation (result below 1 ulp or above Q16.16 max).
+  if (n < -17) return rounding == ExpRounding::up ? 1u : 0u;
+  if (n > 15) {
+    return rounding == ExpRounding::down
+               ? std::numeric_limits<std::uint32_t>::max() - 4096
+               : std::numeric_limits<std::uint32_t>::max();
+  }
+
+  // Mantissa 2^frac via 64-entry LUT + linear interpolation, Q16.16.
+  const auto& table = pow2_table();
+  const std::uint32_t idx = frac >> 10;
+  const std::uint32_t rem = frac & 1023;
+  const std::uint64_t base = table[idx];
+  const std::uint64_t next = table[idx + 1];
+  const std::uint64_t mant = base + (((next - base) * rem) >> 10);
+
+  // Scale by 2^n.
+  std::uint64_t value;
+  if (n >= 0) {
+    value = mant << n;
+    if (value > std::numeric_limits<std::uint32_t>::max()) {
+      value = std::numeric_limits<std::uint32_t>::max();
+    }
+  } else {
+    value = mant >> (-n);
+  }
+  return rounding == ExpRounding::down ? guard_down(value) : guard_up(value);
+}
+
+q16_16 fxlog(uq16_16 x, ExpRounding rounding) {
+  require(x > 0, "fxlog: log of zero");
+  // x = mant * 2^n with mant in [1, 2) at Q16.16.
+  const int msb = std::bit_width(x) - 1;
+  const int n = msb - 16;
+  // Normalize mantissa into [65536, 131072).
+  const std::uint32_t mant =
+      n >= 0 ? (x >> n) : (x << (-n));
+  const std::uint32_t frac = mant & 0xFFFF;  // offset above 1.0, Q0.16
+
+  const auto& table = ln_table();
+  const std::uint32_t idx = frac >> 10;
+  const std::uint32_t rem = frac & 1023;
+  const std::int64_t base = table[idx];
+  const std::int64_t next = table[idx + 1];
+  const std::int64_t ln_mant = base + (((next - base) * rem) >> 10);
+
+  const std::int64_t value = static_cast<std::int64_t>(n) * kLn2 + ln_mant;
+  const std::int64_t band = (std::abs(value) >> 12) + 4;
+  const std::int64_t out =
+      rounding == ExpRounding::down ? value - band : value + band;
+  return static_cast<q16_16>(
+      std::clamp<std::int64_t>(out, std::numeric_limits<q16_16>::min(),
+                               std::numeric_limits<q16_16>::max()));
+}
+
+}  // namespace topick::fx

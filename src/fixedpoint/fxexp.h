@@ -1,0 +1,48 @@
+// Fixed-point exponential unit (Table 1: "2 x 32 bit fixed-point EXP unit"
+// per PE lane).
+//
+// The RPDU compares s_max - ln(D) <= ln(thr) and the PEC accumulates
+// exp(s_min) terms in fixed point. Rounding must preserve the safety proof:
+//   * numerator-side exponentials (from s_max) round UP,
+//   * denominator-side exponentials (from s_min) round DOWN,
+// so the fixed-point estimate p''_fx still upper-bounds the true
+// probability and a prune decision remains conservative.
+//
+// Representation: unsigned Q16.16 for exp values (covers the post-shift
+// range used by the DAG), inputs in Q16.16 two's complement. The core is a
+// base-2 decomposition exp(x) = 2^(x*log2e) with a 64-entry mantissa LUT
+// plus one linear-interpolation step; LUT entries are precomputed with
+// directed rounding.
+#pragma once
+
+#include <cstdint>
+
+namespace topick::fx {
+
+// Q16.16 fixed-point scalar.
+using q16_16 = std::int32_t;
+using uq16_16 = std::uint32_t;
+
+constexpr int kExpFracBits = 16;
+constexpr double kExpScale = 65536.0;  // 2^16
+
+q16_16 to_q16(double x);
+double from_q16(q16_16 x);
+double from_uq16(uq16_16 x);
+
+enum class ExpRounding { down, up };
+
+// exp(x) in Q16.16 with directed rounding. Saturates to 0 / UINT32_MAX when
+// the result leaves the representable range [2^-16, 2^15.99]; saturation
+// directions also respect the rounding mode (down -> 0, up -> max).
+uq16_16 fxexp(q16_16 x, ExpRounding rounding);
+
+// Directed-rounding guarantees, used by the estimator tests:
+//   fxexp(x, down) <= exp(x) * 2^16 <= fxexp(x, up)   (within saturation)
+// ln of a Q16.16 value, rounded toward +inf (used on the denominator so that
+// ln(D) is never underestimated... the prune inequality uses
+// s_max - ln(D) <= ln(thr), so rounding ln(D) DOWN is the conservative
+// direction: it makes the left side larger. This helper provides both.
+q16_16 fxlog(uq16_16 x, ExpRounding rounding);
+
+}  // namespace topick::fx

@@ -1,0 +1,49 @@
+#include "fixedpoint/margin.h"
+
+#include "common/require.h"
+#include "fixedpoint/chunks.h"
+
+namespace topick::fx {
+
+SignSplit sign_split(const QuantizedVector& q) {
+  SignSplit split;
+  for (auto v : q.values) {
+    if (v > 0) {
+      split.positive_sum += v;
+    } else {
+      split.negative_sum += v;
+    }
+  }
+  return split;
+}
+
+MarginTable::MarginTable(const QuantizedVector& q, const QuantParams& k_params) {
+  const SignSplit split = sign_split(q);
+  const int levels = k_params.num_chunks() + 1;
+  pairs_.reserve(static_cast<std::size_t>(levels));
+  for (int level = 0; level < levels; ++level) {
+    if (level == 0) {
+      // Sign bit unknown: each K element spans [qmin, qmax] around a zero
+      // partial, so the bounds mix both signs of Q.
+      const std::int64_t qmin = k_params.qmin();
+      const std::int64_t qmax = k_params.qmax();
+      pairs_.push_back(
+          MarginPair{qmin * split.positive_sum + qmax * split.negative_sum,
+                     qmax * split.positive_sum + qmin * split.negative_sum});
+      continue;
+    }
+    // Sign bit known: unknown low bits only ever add a value in
+    // [0, residual], so the bounds split cleanly by the sign of Q.
+    const std::int64_t residual = residual_weight(level, k_params);
+    pairs_.push_back(MarginPair{residual * split.negative_sum,
+                                residual * split.positive_sum});
+  }
+}
+
+const MarginPair& MarginTable::at_level(int chunks_known) const {
+  require(chunks_known >= 0 && chunks_known < levels(),
+          "MarginTable: level out of range");
+  return pairs_[static_cast<std::size_t>(chunks_known)];
+}
+
+}  // namespace topick::fx

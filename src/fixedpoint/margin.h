@@ -1,0 +1,47 @@
+// Margin pairs (M_min^b, M_max^b) for partial dot products (paper §3.1).
+//
+// With Q fully known and K known only to chunk level b, the exact score lies
+// in [partial + M_min^b, partial + M_max^b]:
+//   M_max^b = residual(b) * sum_{d: q_d > 0} q_d   (unknown K bits set to 1)
+//   M_min^b = residual(b) * sum_{d: q_d < 0} q_d   (unknown K bits set to 0
+//                                                   for positive q, 1 for
+//                                                   negative q)
+// The pairs depend only on Q ("Sign Filtering" in the Margin Generator,
+// Fig. 6), so they are computed once per query and looked up per chunk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixedpoint/quant.h"
+
+namespace topick::fx {
+
+// Sums of the positive and negative elements of a quantized query.
+struct SignSplit {
+  std::int64_t positive_sum = 0;  // sum of q_d for q_d > 0 (>= 0)
+  std::int64_t negative_sum = 0;  // sum of q_d for q_d < 0 (<= 0)
+};
+
+SignSplit sign_split(const QuantizedVector& q);
+
+struct MarginPair {
+  std::int64_t min_margin = 0;  // <= 0 contribution bound
+  std::int64_t max_margin = 0;  // >= 0 contribution bound
+};
+
+// Margins for every chunk level 0..num_chunks (level = chunks known; the final
+// level has zero margins because nothing is unknown). Index with
+// margins[chunks_known].
+class MarginTable {
+ public:
+  MarginTable(const QuantizedVector& q, const QuantParams& k_params);
+
+  const MarginPair& at_level(int chunks_known) const;
+  int levels() const { return static_cast<int>(pairs_.size()); }
+
+ private:
+  std::vector<MarginPair> pairs_;
+};
+
+}  // namespace topick::fx

@@ -1,0 +1,61 @@
+#include "fixedpoint/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace topick::fx {
+
+float choose_scale(std::span<const float> xs, int total_bits) {
+  float amax = 0.0f;
+  for (float x : xs) amax = std::max(amax, std::abs(x));
+  if (amax == 0.0f) return 1.0f;
+  const auto qmax = static_cast<float>((1 << (total_bits - 1)) - 1);
+  return amax / qmax;
+}
+
+QuantizedVector quantize(std::span<const float> xs, const QuantParams& params) {
+  require(params.total_bits >= 2 && params.total_bits <= 15,
+          "quantize: total_bits must be in [2, 15] for int16 storage");
+  require(params.chunk_bits >= 1 && params.chunk_bits <= params.total_bits,
+          "quantize: chunk_bits must be in [1, total_bits]");
+  require(params.scale > 0.0f, "quantize: scale must be positive");
+
+  QuantizedVector out;
+  out.params = params;
+  out.values.reserve(xs.size());
+  for (float x : xs) {
+    const auto q = static_cast<std::int32_t>(std::lround(x / params.scale));
+    out.values.push_back(
+        static_cast<std::int16_t>(std::clamp(q, params.qmin(), params.qmax())));
+  }
+  return out;
+}
+
+QuantizedVector quantize_auto(std::span<const float> xs, int total_bits,
+                              int chunk_bits) {
+  QuantParams params;
+  params.total_bits = total_bits;
+  params.chunk_bits = chunk_bits;
+  params.scale = choose_scale(xs, total_bits);
+  return quantize(xs, params);
+}
+
+std::vector<float> dequantize(const QuantizedVector& v) {
+  std::vector<float> out;
+  out.reserve(v.values.size());
+  for (auto q : v.values) out.push_back(static_cast<float>(q) * v.params.scale);
+  return out;
+}
+
+std::int64_t dot_i64(const QuantizedVector& a, const QuantizedVector& b) {
+  require(a.values.size() == b.values.size(), "dot_i64: length mismatch");
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    acc += static_cast<std::int64_t>(a.values[i]) * b.values[i];
+  }
+  return acc;
+}
+
+}  // namespace topick::fx

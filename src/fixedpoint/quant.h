@@ -1,0 +1,46 @@
+// 12-bit two's-complement quantization (Table 1: "operand precision for
+// self-attention is set to 12 bits, segmented into three 4-bit chunks").
+//
+// Values are stored sign-extended in int16_t; the scale maps integers back to
+// reals: real ~= value * scale. Scales are symmetric per-tensor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace topick::fx {
+
+struct QuantParams {
+  int total_bits = 12;
+  int chunk_bits = 4;
+  float scale = 1.0f;
+
+  int num_chunks() const { return (total_bits + chunk_bits - 1) / chunk_bits; }
+  std::int32_t qmax() const { return (1 << (total_bits - 1)) - 1; }
+  std::int32_t qmin() const { return -(1 << (total_bits - 1)); }
+};
+
+struct QuantizedVector {
+  QuantParams params;
+  std::vector<std::int16_t> values;
+
+  std::size_t size() const { return values.size(); }
+};
+
+// Symmetric scale so that max|x| maps to qmax. A zero vector gets scale 1.
+float choose_scale(std::span<const float> xs, int total_bits = 12);
+
+// Quantizes with round-to-nearest and saturation to [qmin, qmax].
+QuantizedVector quantize(std::span<const float> xs, const QuantParams& params);
+
+// Convenience: picks the scale from the data, then quantizes.
+QuantizedVector quantize_auto(std::span<const float> xs, int total_bits = 12,
+                              int chunk_bits = 4);
+
+std::vector<float> dequantize(const QuantizedVector& v);
+
+// Exact integer dot product of two quantized vectors (int64 accumulator).
+std::int64_t dot_i64(const QuantizedVector& a, const QuantizedVector& b);
+
+}  // namespace topick::fx

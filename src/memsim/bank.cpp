@@ -1,0 +1,37 @@
+#include "memsim/bank.h"
+
+#include <algorithm>
+
+namespace topick::mem {
+
+std::uint64_t Bank::earliest_read_cycle(std::uint64_t row,
+                                        std::uint64_t now) const {
+  std::uint64_t t = std::max(now, ready_cycle_);
+  if (row_open(row)) return t;  // row hit: column command can go now
+  if (has_open_row_) {
+    // Conflict: PRE (respecting tRAS) then ACT then RD.
+    const std::uint64_t pre_ok =
+        std::max(t, activated_cycle_ + static_cast<std::uint64_t>(timing_->t_ras));
+    return pre_ok + timing_->t_rp + timing_->t_rcd;
+  }
+  // Closed: ACT then RD.
+  return t + timing_->t_rcd;
+}
+
+std::uint64_t Bank::issue_read(std::uint64_t row, std::uint64_t now) {
+  const std::uint64_t col_cycle = earliest_read_cycle(row, now);
+  if (!row_open(row)) {
+    activated_cycle_ = col_cycle - timing_->t_rcd;
+    has_open_row_ = true;
+    open_row_ = row;
+  }
+  ready_cycle_ = col_cycle + 1;  // column command occupies the bank briefly
+  return col_cycle;
+}
+
+void Bank::force_precharge(std::uint64_t ready_cycle) {
+  has_open_row_ = false;
+  ready_cycle_ = std::max(ready_cycle_, ready_cycle);
+}
+
+}  // namespace topick::mem

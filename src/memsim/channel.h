@@ -1,0 +1,63 @@
+// One HBM2 channel: request queue, FR-FCFS scheduling over banks, a shared
+// data bus, and periodic refresh.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "memsim/bank.h"
+#include "memsim/dram_config.h"
+#include "memsim/types.h"
+
+namespace topick::mem {
+
+// Bank/row/column coordinates of a transaction within a channel.
+struct LocalAddr {
+  std::uint64_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint64_t column = 0;
+};
+
+class Channel {
+ public:
+  explicit Channel(const DramConfig& config);
+
+  bool can_accept() const { return queue_.size() < queue_limit_; }
+  void enqueue(const MemRequest& request, const LocalAddr& local);
+
+  // Advances one DRAM clock; completed transactions are appended to `done`.
+  // When `trace` is non-null, committed commands are appended to it.
+  void tick(std::uint64_t now, std::vector<MemResponse>& done,
+            std::vector<TraceEntry>* trace = nullptr);
+
+  std::size_t pending() const { return queue_.size() + in_flight_.size(); }
+  const DramStats& stats() const { return stats_; }
+
+ private:
+  struct QueuedRequest {
+    MemRequest request;
+    LocalAddr local;
+    std::uint64_t arrival = 0;
+  };
+  struct InFlight {
+    MemRequest request;
+    std::uint64_t done_cycle = 0;
+  };
+
+  void maybe_refresh(std::uint64_t now);
+  // FR-FCFS: first ready row-hit wins, else the oldest issuable request.
+  std::size_t pick_request(std::uint64_t now, bool& found);
+
+  const DramConfig* config_;
+  std::size_t queue_limit_;
+  std::vector<Bank> banks_;
+  std::deque<QueuedRequest> queue_;
+  std::vector<InFlight> in_flight_;
+  std::uint64_t data_bus_free_ = 0;   // next cycle the data bus is free
+  std::uint64_t next_refresh_ = 0;
+  std::uint64_t refresh_until_ = 0;
+  DramStats stats_;
+};
+
+}  // namespace topick::mem

@@ -1,0 +1,117 @@
+#include "model/config.h"
+
+#include "common/require.h"
+
+namespace topick {
+
+std::uint64_t ModelConfig::embedding_params() const {
+  std::uint64_t params = static_cast<std::uint64_t>(vocab) * d_model;
+  if (!tied_embeddings) params *= 2;
+  if (position == PositionKind::learned) {
+    params += static_cast<std::uint64_t>(max_seq) * d_model;
+  }
+  return params;
+}
+
+std::uint64_t ModelConfig::block_params() const {
+  const auto d = static_cast<std::uint64_t>(d_model);
+  const auto ff = static_cast<std::uint64_t>(d_ff);
+  const std::uint64_t attn = 4 * d * d;
+  const std::uint64_t ffn_params =
+      (ffn == FfnKind::swiglu) ? 3 * d * ff : 2 * d * ff;
+  return static_cast<std::uint64_t>(n_layer) * (attn + ffn_params);
+}
+
+std::uint64_t ModelConfig::total_params() const {
+  return embedding_params() + block_params();
+}
+
+std::uint64_t ModelConfig::kv_cache_bytes(int kv_bits, int context_len) const {
+  // 2x for K and V; d_model == n_head * head_dim (MHA, no GQA in the paper).
+  const std::uint64_t bits = 2ULL * n_layer * d_model *
+                             static_cast<std::uint64_t>(context_len) * kv_bits;
+  return bits / 8;
+}
+
+void ModelConfig::validate() const {
+  require(n_layer > 0 && n_head > 0 && d_model > 0 && d_ff > 0,
+          "ModelConfig: dimensions must be positive");
+  require(d_model % n_head == 0, "ModelConfig: d_model must divide by n_head");
+  require(vocab > 1, "ModelConfig: vocab must exceed 1");
+  require(max_seq > 1, "ModelConfig: max_seq must exceed 1");
+}
+
+ModelConfig tiny_lm_config() {
+  ModelConfig c;
+  c.name = "tiny-lm";
+  c.n_layer = 2;
+  c.n_head = 4;
+  c.d_model = 64;
+  c.d_ff = 256;
+  c.vocab = 64;
+  c.max_seq = 256;
+  return c;
+}
+
+ModelConfig test_lm_config() {
+  ModelConfig c;
+  c.name = "test-lm";
+  c.n_layer = 2;
+  c.n_head = 2;
+  c.d_model = 32;
+  c.d_ff = 64;
+  c.vocab = 32;
+  c.max_seq = 64;
+  return c;
+}
+
+namespace {
+
+ModelConfig make_zoo(const std::string& name, int n_layer, int n_head,
+                     int d_model, int d_ff, int vocab, int max_seq,
+                     FfnKind ffn, PositionKind pos, bool tied) {
+  ModelConfig c;
+  c.name = name;
+  c.n_layer = n_layer;
+  c.n_head = n_head;
+  c.d_model = d_model;
+  c.d_ff = d_ff;
+  c.vocab = vocab;
+  c.max_seq = max_seq;
+  c.ffn = ffn;
+  c.position = pos;
+  c.tied_embeddings = tied;
+  return c;
+}
+
+}  // namespace
+
+std::vector<ModelConfig> paper_zoo() {
+  using F = FfnKind;
+  using P = PositionKind;
+  return {
+      make_zoo("GPT2-Large", 36, 20, 1280, 5120, 50257, 1024, F::gelu, P::learned, true),
+      make_zoo("GPT2-XL", 48, 25, 1600, 6400, 50257, 1024, F::gelu, P::learned, true),
+      make_zoo("OPT-1.3B", 24, 32, 2048, 8192, 50272, 2048, F::gelu, P::learned, true),
+      make_zoo("OPT-2.7B", 32, 32, 2560, 10240, 50272, 2048, F::gelu, P::learned, true),
+      make_zoo("OPT-6.7B", 32, 32, 4096, 16384, 50272, 2048, F::gelu, P::learned, true),
+      make_zoo("OPT-13B", 40, 40, 5120, 20480, 50272, 2048, F::gelu, P::learned, true),
+      make_zoo("LLaMa-2-7B", 32, 32, 4096, 11008, 32000, 4096, F::swiglu, P::rotary, false),
+      make_zoo("LLaMa-2-13B", 40, 40, 5120, 13824, 32000, 4096, F::swiglu, P::rotary, false),
+  };
+}
+
+ModelConfig zoo_config(const std::string& name) {
+  if (name == "GPT2-Medium") {
+    // Fig. 9 comparison model (not part of the Fig. 8/10 zoo).
+    return make_zoo("GPT2-Medium", 24, 16, 1024, 4096, 50257, 1024,
+                    FfnKind::gelu, PositionKind::learned, true);
+  }
+  for (auto& c : paper_zoo()) {
+    if (c.name == name) return c;
+  }
+  require(false, "zoo_config: unknown model " + name);
+  return {};
+}
+
+}  // namespace topick

@@ -1,0 +1,52 @@
+// Model hyperparameter configs.
+//
+// Two uses: (1) the tiny trainable LM this repo actually runs end-to-end, and
+// (2) the paper's model zoo (GPT2 / OPT / LLaMa-2 families) whose shapes feed
+// the analytic traffic model (Fig. 2) and the calibrated workload generator
+// (Figs. 8-10). Zoo configs are never instantiated as weight tensors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topick {
+
+enum class FfnKind { gelu, swiglu };
+enum class PositionKind { learned, rotary };
+
+struct ModelConfig {
+  std::string name;
+  int n_layer = 2;
+  int n_head = 2;
+  int d_model = 64;
+  int d_ff = 256;
+  int vocab = 64;
+  int max_seq = 256;
+  FfnKind ffn = FfnKind::gelu;
+  PositionKind position = PositionKind::learned;
+  bool tied_embeddings = true;
+
+  int head_dim() const { return d_model / n_head; }
+
+  // Parameter counts used by the analytic model (biases/LN ignored: < 0.1%).
+  std::uint64_t embedding_params() const;
+  std::uint64_t block_params() const;   // all transformer blocks
+  std::uint64_t total_params() const;
+
+  // KV-cache bytes for one request at full context, given bits per element.
+  std::uint64_t kv_cache_bytes(int kv_bits, int context_len) const;
+
+  void validate() const;  // throws std::logic_error on inconsistent shapes
+};
+
+// The tiny LM that is trained from scratch in this repo (src/train).
+ModelConfig tiny_lm_config();
+// Even smaller variant used by unit tests.
+ModelConfig test_lm_config();
+
+// Paper model zoo (shapes only).
+std::vector<ModelConfig> paper_zoo();          // the 8 models of Fig. 8/10
+ModelConfig zoo_config(const std::string& name);  // lookup by name
+
+}  // namespace topick

@@ -1,0 +1,52 @@
+#include "model/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/require.h"
+
+namespace topick {
+
+int sample_greedy(std::span<const float> logits) {
+  require(!logits.empty(), "sample_greedy: empty logits");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return static_cast<int>(best);
+}
+
+int sample_topk(std::span<const float> logits, Rng& rng, float temperature,
+                int k) {
+  require(!logits.empty(), "sample_topk: empty logits");
+  require(temperature > 0.0f, "sample_topk: temperature must be positive");
+
+  std::vector<std::size_t> order(logits.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto keep = (k <= 0) ? logits.size()
+                             : std::min<std::size_t>(static_cast<std::size_t>(k),
+                                                     logits.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return logits[a] > logits[b];
+                    });
+
+  std::vector<double> probs(keep);
+  double m = logits[order[0]];
+  double denom = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    probs[i] = std::exp((static_cast<double>(logits[order[i]]) - m) /
+                        static_cast<double>(temperature));
+    denom += probs[i];
+  }
+  double r = rng.uniform() * denom;
+  for (std::size_t i = 0; i < keep; ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return static_cast<int>(order[i]);
+  }
+  return static_cast<int>(order[keep - 1]);
+}
+
+}  // namespace topick

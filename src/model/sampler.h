@@ -1,0 +1,17 @@
+// Token sampling strategies for the generation examples.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+
+namespace topick {
+
+// Deterministic argmax.
+int sample_greedy(std::span<const float> logits);
+
+// Temperature + top-k sampling. k == 0 disables the top-k filter.
+int sample_topk(std::span<const float> logits, Rng& rng, float temperature,
+                int k);
+
+}  // namespace topick

@@ -1,0 +1,209 @@
+#include "model/transformer.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "tensor/ops.h"
+
+namespace topick {
+
+namespace {
+
+// Default backend: exact float softmax attention.
+class ExactFloatBackend final : public AttentionBackend {
+ public:
+  void attend(std::span<const float> q, const KvHeadView& kv,
+              std::span<float> out, const AttentionContext&) override {
+    const auto len = kv.len;
+    require(len > 0, "attend: empty KV view");
+    scores_.resize(len);
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(kv.head_dim));
+    for (std::size_t t = 0; t < len; ++t) {
+      auto key = kv.key(t);
+      float acc = 0.0f;
+      for (std::size_t d = 0; d < kv.head_dim; ++d) acc += q[d] * key[d];
+      scores_[t] = acc * inv_sqrt_d;
+    }
+    ops::softmax_inplace(scores_);
+    for (auto& o : out) o = 0.0f;
+    for (std::size_t t = 0; t < len; ++t) {
+      auto value = kv.value(t);
+      const float p = scores_[t];
+      for (std::size_t d = 0; d < kv.head_dim; ++d) out[d] += p * value[d];
+    }
+  }
+
+ private:
+  std::vector<float> scores_;
+};
+
+ExactFloatBackend& default_backend() {
+  static ExactFloatBackend backend;
+  return backend;
+}
+
+Tensor randn_scaled(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace
+
+TransformerWeights TransformerWeights::random_init(const ModelConfig& config,
+                                                   Rng& rng) {
+  config.validate();
+  TransformerWeights w;
+  w.config = config;
+  const auto d = static_cast<std::size_t>(config.d_model);
+  const auto ff = static_cast<std::size_t>(config.d_ff);
+  const float wstd = 0.08f;
+  // Residual-path projections are scaled down with depth (GPT-2 practice).
+  const float residual_std =
+      wstd / std::sqrt(2.0f * static_cast<float>(config.n_layer));
+
+  w.tok_emb = randn_scaled({static_cast<std::size_t>(config.vocab), d}, rng, wstd);
+  w.pos_emb = randn_scaled({static_cast<std::size_t>(config.max_seq), d}, rng,
+                           0.5f * wstd);
+  for (int l = 0; l < config.n_layer; ++l) {
+    LayerWeights lw;
+    lw.ln1_gamma = Tensor({d}, 1.0f);
+    lw.ln1_beta = Tensor({d}, 0.0f);
+    lw.wq = randn_scaled({d, d}, rng, wstd);
+    lw.wk = randn_scaled({d, d}, rng, wstd);
+    lw.wv = randn_scaled({d, d}, rng, wstd);
+    lw.wo = randn_scaled({d, d}, rng, residual_std);
+    lw.bq = Tensor({d}, 0.0f);
+    lw.bk = Tensor({d}, 0.0f);
+    lw.bv = Tensor({d}, 0.0f);
+    lw.bo = Tensor({d}, 0.0f);
+    lw.ln2_gamma = Tensor({d}, 1.0f);
+    lw.ln2_beta = Tensor({d}, 0.0f);
+    lw.w_ff1 = randn_scaled({ff, d}, rng, wstd);
+    lw.b_ff1 = Tensor({ff}, 0.0f);
+    lw.w_ff2 = randn_scaled({d, ff}, rng, residual_std);
+    lw.b_ff2 = Tensor({d}, 0.0f);
+    w.layers.push_back(std::move(lw));
+  }
+  w.lnf_gamma = Tensor({d}, 1.0f);
+  w.lnf_beta = Tensor({d}, 0.0f);
+  return w;
+}
+
+Transformer::Transformer(const TransformerWeights* weights,
+                         AttentionBackend* backend)
+    : weights_(weights),
+      backend_(backend != nullptr ? backend : &default_backend()),
+      cache_(weights->config.n_layer, weights->config.n_head,
+             weights->config.head_dim(), weights->config.max_seq) {
+  require(weights_ != nullptr, "Transformer: weights required");
+  const auto d = static_cast<std::size_t>(weights_->config.d_model);
+  q_.resize(d);
+  k_.resize(d);
+  v_.resize(d);
+  attn_out_.resize(d);
+  norm_.resize(d);
+  proj_.resize(d);
+  ff_hidden_.resize(static_cast<std::size_t>(weights_->config.d_ff));
+}
+
+void Transformer::begin_sequence() {
+  cache_.clear();
+  position_ = 0;
+  backend_->begin_sequence();
+}
+
+void Transformer::attention_block(int layer, std::span<float> x) {
+  const auto& lw = weights_->layers[static_cast<std::size_t>(layer)];
+  const auto& cfg = weights_->config;
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+
+  ops::layernorm(x, lw.ln1_gamma.flat(), lw.ln1_beta.flat(), norm_);
+  ops::gemv(lw.wq, norm_, q_);
+  ops::add_inplace(q_, lw.bq.flat());
+  ops::gemv(lw.wk, norm_, k_);
+  ops::add_inplace(k_, lw.bk.flat());
+  ops::gemv(lw.wv, norm_, v_);
+  ops::add_inplace(v_, lw.bv.flat());
+
+  cache_.append(layer, k_, v_);
+
+  AttentionContext ctx;
+  ctx.layer = layer;
+  ctx.position = static_cast<int>(position_);
+  for (int h = 0; h < cfg.n_head; ++h) {
+    ctx.head = h;
+    const auto view = cache_.head_view(layer, h);
+    std::span<const float> qh{q_.data() + h * static_cast<int>(head_dim),
+                              head_dim};
+    std::span<float> oh{attn_out_.data() + h * static_cast<int>(head_dim),
+                        head_dim};
+    backend_->attend(qh, view, oh, ctx);
+  }
+
+  ops::gemv(lw.wo, attn_out_, proj_);
+  ops::add_inplace(proj_, lw.bo.flat());
+  ops::add_inplace(x, proj_);
+}
+
+void Transformer::ffn_block(int layer, std::span<float> x) {
+  const auto& lw = weights_->layers[static_cast<std::size_t>(layer)];
+  ops::layernorm(x, lw.ln2_gamma.flat(), lw.ln2_beta.flat(), norm_);
+  ops::gemv(lw.w_ff1, norm_, ff_hidden_);
+  ops::add_inplace(ff_hidden_, lw.b_ff1.flat());
+  ops::gelu_inplace(ff_hidden_);
+  ops::gemv(lw.w_ff2, ff_hidden_, proj_);
+  ops::add_inplace(proj_, lw.b_ff2.flat());
+  ops::add_inplace(x, proj_);
+}
+
+std::vector<float> Transformer::decode_step(int token) {
+  const auto& cfg = weights_->config;
+  require(token >= 0 && token < cfg.vocab, "decode_step: token out of vocab");
+  require(position_ < static_cast<std::size_t>(cfg.max_seq),
+          "decode_step: sequence exceeds max_seq");
+
+  const auto d = static_cast<std::size_t>(cfg.d_model);
+  std::vector<float> x(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    x[i] = weights_->tok_emb.at(static_cast<std::size_t>(token), i) +
+           weights_->pos_emb.at(position_, i);
+  }
+
+  for (int l = 0; l < cfg.n_layer; ++l) {
+    attention_block(l, x);
+    ffn_block(l, x);
+  }
+
+  ops::layernorm(x, weights_->lnf_gamma.flat(), weights_->lnf_beta.flat(),
+                 norm_);
+
+  // Tied output head: logits = tok_emb * h.
+  std::vector<float> logits(static_cast<std::size_t>(cfg.vocab));
+  for (int t = 0; t < cfg.vocab; ++t) {
+    const float* row = weights_->tok_emb.data() + static_cast<std::size_t>(t) * d;
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < d; ++i) acc += row[i] * norm_[i];
+    logits[static_cast<std::size_t>(t)] = acc;
+  }
+
+  ++position_;
+  return logits;
+}
+
+double Transformer::sequence_nll(std::span<const int> tokens) {
+  require(tokens.size() >= 2, "sequence_nll: need at least two tokens");
+  begin_sequence();
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    auto logits = decode_step(tokens[i]);
+    // Stable log-softmax pick.
+    float m = logits[0];
+    for (float v : logits) m = std::max(m, v);
+    double denom = 0.0;
+    for (float v : logits) denom += std::exp(static_cast<double>(v - m));
+    const auto target = static_cast<std::size_t>(tokens[i + 1]);
+    total -= static_cast<double>(logits[target] - m) - std::log(denom);
+  }
+  return total / static_cast<double>(tokens.size() - 1);
+}
+
+}  // namespace topick

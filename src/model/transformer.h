@@ -1,0 +1,91 @@
+// Pre-LN GPT-2-style autoregressive transformer with a pluggable attention
+// backend, so the exact reference, Token-Picker, and SpAtten pruning all run
+// inside real decoding (used for the locality study, PPL calibration, and the
+// text-generation examples).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/config.h"
+#include "model/kv_cache.h"
+#include "tensor/tensor.h"
+
+namespace topick {
+
+// Identifies the attention instance a backend call belongs to.
+struct AttentionContext {
+  int layer = 0;
+  int head = 0;
+  int position = 0;  // query position (0-based token index)
+};
+
+// Computes o = sum_i p_i v_i over one head's cached tokens for one query.
+// Implementations: exact float softmax, exact 12-bit quantized, Token-Picker
+// chunked pruning, SpAtten cascade pruning (src/core/attention_backends.h).
+class AttentionBackend {
+ public:
+  virtual ~AttentionBackend() = default;
+  virtual void attend(std::span<const float> q, const KvHeadView& kv,
+                      std::span<float> out, const AttentionContext& ctx) = 0;
+  // Called when a fresh sequence starts (clears per-sequence pruning state).
+  virtual void begin_sequence() {}
+};
+
+struct LayerWeights {
+  Tensor ln1_gamma, ln1_beta;        // (d)
+  Tensor wq, wk, wv, wo;             // (d, d)
+  Tensor bq, bk, bv, bo;             // (d)
+  Tensor ln2_gamma, ln2_beta;        // (d)
+  Tensor w_ff1, b_ff1;               // (d_ff, d), (d_ff)
+  Tensor w_ff2, b_ff2;               // (d, d_ff), (d)
+};
+
+struct TransformerWeights {
+  ModelConfig config;
+  Tensor tok_emb;                    // (vocab, d)
+  Tensor pos_emb;                    // (max_seq, d)
+  std::vector<LayerWeights> layers;
+  Tensor lnf_gamma, lnf_beta;        // (d)
+  // Output head is tied to tok_emb (config.tied_embeddings is true for the
+  // trainable configs in this repo).
+
+  static TransformerWeights random_init(const ModelConfig& config, Rng& rng);
+};
+
+class Transformer {
+ public:
+  // The backend is shared across layers/heads; pass nullptr for the built-in
+  // exact float attention.
+  Transformer(const TransformerWeights* weights,
+              AttentionBackend* backend = nullptr);
+
+  // Resets the KV cache and backend state for a new sequence.
+  void begin_sequence();
+
+  // Runs one decode step: consumes `token` at the next position and returns
+  // the logits for the following token.
+  std::vector<float> decode_step(int token);
+
+  // Teacher-forced negative log-likelihood (nats/token) of `tokens`:
+  // feeds tokens[0..n-2] and scores tokens[1..n-1]. Perplexity = exp(nll).
+  double sequence_nll(std::span<const int> tokens);
+
+  const KvCache& cache() const { return cache_; }
+  std::size_t position() const { return position_; }
+
+ private:
+  void attention_block(int layer, std::span<float> x);
+  void ffn_block(int layer, std::span<float> x);
+
+  const TransformerWeights* weights_;
+  AttentionBackend* backend_;
+  KvCache cache_;
+  std::size_t position_ = 0;
+
+  // Scratch buffers reused across steps.
+  std::vector<float> q_, k_, v_, attn_out_, norm_, ff_hidden_, proj_;
+};
+
+}  // namespace topick

@@ -1,0 +1,140 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace topick::ops {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
+  require(a.dim(1) == b.dim(0), "matmul: inner dimension mismatch");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_nt: rank-2 tensors required");
+  require(a.dim(1) == b.dim(1), "matmul_nt: inner dimension mismatch");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+void gemv(const Tensor& w, std::span<const float> x, std::span<float> y) {
+  require(w.rank() == 2, "gemv: rank-2 weight required");
+  require(w.dim(1) == x.size() && w.dim(0) == y.size(), "gemv: shape mismatch");
+  for (std::size_t i = 0; i < w.dim(0); ++i) {
+    const float* row = w.data() + i * w.dim(1);
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < x.size(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void add_inplace(std::span<float> y, std::span<const float> x) {
+  require(y.size() == x.size(), "add_inplace: size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+}
+
+void scale_inplace(std::span<float> y, float s) {
+  for (auto& v : y) v *= s;
+}
+
+void softmax_inplace(std::span<float> xs) {
+  require(!xs.empty(), "softmax: empty input");
+  float m = xs[0];
+  for (float x : xs) m = std::max(m, x);
+  float denom = 0.0f;
+  for (auto& x : xs) {
+    x = std::exp(x - m);
+    denom += x;
+  }
+  for (auto& x : xs) x /= denom;
+}
+
+void softmax_rows(Tensor& t) {
+  require(t.rank() == 2, "softmax_rows: rank-2 tensor required");
+  for (std::size_t i = 0; i < t.dim(0); ++i) softmax_inplace(t.row(i));
+}
+
+void layernorm(std::span<const float> x, std::span<const float> gamma,
+               std::span<const float> beta, std::span<float> y, float eps) {
+  require(x.size() == y.size() && x.size() == gamma.size() &&
+              x.size() == beta.size(),
+          "layernorm: size mismatch");
+  const auto n = static_cast<float>(x.size());
+  float mean = 0.0f;
+  for (float v : x) mean += v;
+  mean /= n;
+  float var = 0.0f;
+  for (float v : x) var += (v - mean) * (v - mean);
+  var /= n;
+  const float inv = 1.0f / std::sqrt(var + eps);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = (x[i] - mean) * inv * gamma[i] + beta[i];
+  }
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+float gelu(float x) {
+  const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+  return 0.5f * x * (1.0f + t);
+}
+
+void gelu_inplace(std::span<float> xs) {
+  for (auto& x : xs) x = gelu(x);
+}
+
+float gelu_grad(float x) {
+  const float u = kGeluC * (x + 0.044715f * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+double cross_entropy(const Tensor& logits, std::span<const int> targets) {
+  require(logits.rank() == 2, "cross_entropy: rank-2 logits required");
+  require(logits.dim(0) == targets.size(), "cross_entropy: target count");
+  double total = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    auto row = logits.row(i);
+    const int target = targets[i];
+    require(target >= 0 && static_cast<std::size_t>(target) < row.size(),
+            "cross_entropy: target out of vocab");
+    float m = row[0];
+    for (float v : row) m = std::max(m, v);
+    double denom = 0.0;
+    for (float v : row) denom += std::exp(static_cast<double>(v - m));
+    total += -(static_cast<double>(row[static_cast<std::size_t>(target)] - m) -
+               std::log(denom));
+  }
+  return total / static_cast<double>(targets.size());
+}
+
+}  // namespace topick::ops

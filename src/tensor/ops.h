@@ -1,0 +1,45 @@
+// Dense kernels for the transformer substrate: GEMM/GEMV, softmax, layernorm,
+// GELU, cross-entropy. All row-major, single-threaded, cache-blocked enough
+// for the tiny-LM scale this repo trains.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace topick::ops {
+
+// c = a(m,k) * b(k,n). Shapes validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// c = a(m,k) * b(n,k)^T — the common projection pattern with row-major weights.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// y = W(m,n) * x(n).
+void gemv(const Tensor& w, std::span<const float> x, std::span<float> y);
+
+void add_inplace(std::span<float> y, std::span<const float> x);
+void scale_inplace(std::span<float> y, float s);
+
+// Numerically stable softmax over a contiguous buffer.
+void softmax_inplace(std::span<float> xs);
+
+// Row-wise softmax of a 2-D tensor.
+void softmax_rows(Tensor& t);
+
+// y = (x - mean) / sqrt(var + eps) * gamma + beta over the last axis of a row.
+void layernorm(std::span<const float> x, std::span<const float> gamma,
+               std::span<const float> beta, std::span<float> y,
+               float eps = 1e-5f);
+
+// tanh-approximation GELU (GPT-2 flavour).
+float gelu(float x);
+void gelu_inplace(std::span<float> xs);
+// Derivative of the tanh-approximation GELU (used by the trainer).
+float gelu_grad(float x);
+
+// Mean negative log-likelihood of targets under row-softmax(logits).
+// logits: (n, vocab); targets: n indices. Returns mean NLL in nats.
+double cross_entropy(const Tensor& logits, std::span<const int> targets);
+
+}  // namespace topick::ops

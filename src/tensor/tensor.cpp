@@ -1,0 +1,94 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace topick {
+
+namespace {
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {
+  require(!shape_.empty(), "Tensor: rank-0 tensors are not supported");
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape), 0.0f);
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal()) * stddev;
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  require(axis < shape_.size(), "Tensor::dim: axis out of range");
+  return shape_[axis];
+}
+
+float& Tensor::at(std::size_t i) {
+  require(rank() == 1 && i < shape_[0], "Tensor::at(i): bad index");
+  return data_[i];
+}
+float Tensor::at(std::size_t i) const {
+  require(rank() == 1 && i < shape_[0], "Tensor::at(i): bad index");
+  return data_[i];
+}
+
+std::size_t Tensor::offset2(std::size_t i, std::size_t j) const {
+  require(rank() == 2 && i < shape_[0] && j < shape_[1],
+          "Tensor::at(i,j): bad index");
+  return i * shape_[1] + j;
+}
+
+std::size_t Tensor::offset3(std::size_t i, std::size_t j, std::size_t k) const {
+  require(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2],
+          "Tensor::at(i,j,k): bad index");
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) { return data_[offset2(i, j)]; }
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return data_[offset2(i, j)];
+}
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  return data_[offset3(i, j, k)];
+}
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  return data_[offset3(i, j, k)];
+}
+
+std::span<float> Tensor::row(std::size_t i) {
+  require(rank() == 2 && i < shape_[0], "Tensor::row: bad index");
+  return {data_.data() + i * shape_[1], shape_[1]};
+}
+std::span<const float> Tensor::row(std::size_t i) const {
+  require(rank() == 2 && i < shape_[0], "Tensor::row: bad index");
+  return {data_.data() + i * shape_[1], shape_[1]};
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << ", ";
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace topick

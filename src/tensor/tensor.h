@@ -1,0 +1,56 @@
+// Minimal dense row-major float tensor sized for CPU-scale transformer work.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topick {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+
+  static Tensor zeros(std::vector<std::size_t> shape);
+  // He/Xavier-style normal init with explicit stddev; used for weight init.
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t axis) const;
+  std::size_t size() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  // 1-D / 2-D / 3-D accessors (bounds-checked in debug via require).
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k);
+  float at(std::size_t i, std::size_t j, std::size_t k) const;
+
+  // Row view of a 2-D tensor.
+  std::span<float> row(std::size_t i);
+  std::span<const float> row(std::size_t i) const;
+
+  void fill(float v);
+  std::string shape_str() const;
+
+ private:
+  std::size_t offset2(std::size_t i, std::size_t j) const;
+  std::size_t offset3(std::size_t i, std::size_t j, std::size_t k) const;
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace topick

@@ -1,0 +1,125 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/require.h"
+
+namespace topick::train {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x70c4'11f3;
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated header");
+  return v;
+}
+
+void write_tensor(std::ofstream& out, const Tensor& t) {
+  write_u32(out, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t a = 0; a < t.rank(); ++a) {
+    write_u32(out, static_cast<std::uint32_t>(t.dim(a)));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::ifstream& in) {
+  const auto rank = read_u32(in);
+  if (rank == 0 || rank > 4) throw std::runtime_error("checkpoint: bad rank");
+  std::vector<std::size_t> shape;
+  for (std::uint32_t a = 0; a < rank; ++a) shape.push_back(read_u32(in));
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("checkpoint: truncated tensor");
+  return t;
+}
+
+}  // namespace
+
+void save_checkpoint(const TransformerWeights& weights,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  require(out.good(), "checkpoint: cannot open for writing: " + path);
+  write_u32(out, kMagic);
+  const auto& c = weights.config;
+  write_u32(out, static_cast<std::uint32_t>(c.n_layer));
+  write_u32(out, static_cast<std::uint32_t>(c.n_head));
+  write_u32(out, static_cast<std::uint32_t>(c.d_model));
+  write_u32(out, static_cast<std::uint32_t>(c.d_ff));
+  write_u32(out, static_cast<std::uint32_t>(c.vocab));
+  write_u32(out, static_cast<std::uint32_t>(c.max_seq));
+
+  write_tensor(out, weights.tok_emb);
+  write_tensor(out, weights.pos_emb);
+  for (const auto& l : weights.layers) {
+    for (const Tensor* t :
+         {&l.ln1_gamma, &l.ln1_beta, &l.wq, &l.wk, &l.wv, &l.wo, &l.bq, &l.bk,
+          &l.bv, &l.bo, &l.ln2_gamma, &l.ln2_beta, &l.w_ff1, &l.b_ff1,
+          &l.w_ff2, &l.b_ff2}) {
+      write_tensor(out, *t);
+    }
+  }
+  write_tensor(out, weights.lnf_gamma);
+  write_tensor(out, weights.lnf_beta);
+}
+
+TransformerWeights load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (read_u32(in) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  TransformerWeights w;
+  w.config.name = "checkpoint";
+  w.config.n_layer = static_cast<int>(read_u32(in));
+  w.config.n_head = static_cast<int>(read_u32(in));
+  w.config.d_model = static_cast<int>(read_u32(in));
+  w.config.d_ff = static_cast<int>(read_u32(in));
+  w.config.vocab = static_cast<int>(read_u32(in));
+  w.config.max_seq = static_cast<int>(read_u32(in));
+  w.config.validate();
+
+  w.tok_emb = read_tensor(in);
+  w.pos_emb = read_tensor(in);
+  for (int l = 0; l < w.config.n_layer; ++l) {
+    LayerWeights lw;
+    lw.ln1_gamma = read_tensor(in);
+    lw.ln1_beta = read_tensor(in);
+    lw.wq = read_tensor(in);
+    lw.wk = read_tensor(in);
+    lw.wv = read_tensor(in);
+    lw.wo = read_tensor(in);
+    lw.bq = read_tensor(in);
+    lw.bk = read_tensor(in);
+    lw.bv = read_tensor(in);
+    lw.bo = read_tensor(in);
+    lw.ln2_gamma = read_tensor(in);
+    lw.ln2_beta = read_tensor(in);
+    lw.w_ff1 = read_tensor(in);
+    lw.b_ff1 = read_tensor(in);
+    lw.w_ff2 = read_tensor(in);
+    lw.b_ff2 = read_tensor(in);
+    w.layers.push_back(std::move(lw));
+  }
+  w.lnf_gamma = read_tensor(in);
+  w.lnf_beta = read_tensor(in);
+  return w;
+}
+
+bool checkpoint_exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+}  // namespace topick::train

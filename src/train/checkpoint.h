@@ -1,0 +1,21 @@
+// Binary checkpointing for trained weights, so benches and examples share one
+// trained tiny LM instead of retraining per binary.
+#pragma once
+
+#include <string>
+
+#include "model/transformer.h"
+
+namespace topick::train {
+
+// Format: magic, config fields, then each tensor as (rank, dims..., floats),
+// in the canonical parameter order. Little-endian host assumed.
+void save_checkpoint(const TransformerWeights& weights,
+                     const std::string& path);
+
+// Throws std::runtime_error on missing/corrupt files.
+TransformerWeights load_checkpoint(const std::string& path);
+
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace topick::train

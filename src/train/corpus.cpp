@@ -1,0 +1,89 @@
+#include "train/corpus.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace topick::train {
+
+Corpus::Corpus(const CorpusConfig& config) : config_(config) {
+  require(config.vocab >= 4, "CorpusConfig: vocab too small");
+  require(config.doc_len >= 8, "CorpusConfig: doc_len too small");
+  require(config.branch >= 2 && config.branch < config.vocab - 1,
+          "CorpusConfig: branch out of range");
+  require(config.copy_len_min >= 2 && config.copy_len_max >= config.copy_len_min,
+          "CorpusConfig: bad copy span range");
+  require(config.copy_start_prob >= 0.0 && config.copy_start_prob < 1.0,
+          "CorpusConfig: bad copy_start_prob");
+
+  // Fixed random successor table (tokens 1..vocab-1; <bos> excluded as a
+  // successor so it stays unique at position 0).
+  Rng table_rng(config.table_seed);
+  transition_.resize(static_cast<std::size_t>(config.vocab));
+  for (int t = 0; t < config.vocab; ++t) {
+    auto& row = transition_[static_cast<std::size_t>(t)];
+    while (static_cast<int>(row.size()) < config.branch) {
+      const int cand =
+          1 + static_cast<int>(table_rng.uniform_index(
+                  static_cast<std::uint64_t>(config.vocab - 1)));
+      if (std::find(row.begin(), row.end(), cand) == row.end()) {
+        row.push_back(cand);
+      }
+    }
+  }
+}
+
+int Corpus::sample_next(int current, Rng& rng) const {
+  const auto& row = transition_[static_cast<std::size_t>(current)];
+  // Geometric-ish skew: successor 0 gets `branch_skew`, the rest split the
+  // remainder evenly.
+  if (rng.bernoulli(config_.branch_skew)) return row[0];
+  const auto pick = 1 + rng.uniform_index(row.size() - 1);
+  return row[pick];
+}
+
+std::vector<int> Corpus::make_document(Rng& rng) const {
+  std::vector<int> doc;
+  doc.reserve(static_cast<std::size_t>(config_.doc_len));
+  doc.push_back(0);  // <bos>
+  doc.push_back(1 + static_cast<int>(rng.uniform_index(
+                        static_cast<std::uint64_t>(config_.vocab - 1))));
+
+  // Active copy state: when copying, emit the token that followed the same
+  // prefix earlier in the document.
+  std::size_t copy_src = 0;  // next source index to copy from
+  int copy_left = 0;
+
+  while (static_cast<int>(doc.size()) < config_.doc_len) {
+    if (copy_left > 0 && copy_src < doc.size()) {
+      doc.push_back(doc[copy_src]);
+      ++copy_src;
+      --copy_left;
+      continue;
+    }
+    // Maybe start a copy of an earlier span (needs enough history).
+    if (doc.size() > 24 && rng.bernoulli(config_.copy_start_prob)) {
+      const int len = config_.copy_len_min +
+                      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(
+                          config_.copy_len_max - config_.copy_len_min + 1)));
+      const auto max_start = doc.size() - static_cast<std::size_t>(len) - 1;
+      if (max_start > 1) {
+        copy_src = 1 + rng.uniform_index(max_start);
+        copy_left = len;
+        continue;
+      }
+    }
+    doc.push_back(sample_next(doc.back(), rng));
+  }
+  return doc;
+}
+
+std::vector<std::vector<int>> Corpus::make_documents(Rng& rng,
+                                                     int count) const {
+  std::vector<std::vector<int>> docs;
+  docs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) docs.push_back(make_document(rng));
+  return docs;
+}
+
+}  // namespace topick::train

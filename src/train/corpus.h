@@ -1,0 +1,52 @@
+// Synthetic corpus generator for the tiny LM (DESIGN.md §1 substitution for
+// Wikitext-2).
+//
+// Documents combine:
+//   * an order-1 Markov background (locally predictable text), and
+//   * verbatim repeats of earlier spans ("induction" copies), which force the
+//     model to attend far back in the context — the behaviour that makes KV
+//     pruning thresholds consequential for perplexity.
+// Token 0 is <bos>, which becomes the attention sink (Fig. 4a's first-token
+// effect emerges in the trained model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topick::train {
+
+struct CorpusConfig {
+  int vocab = 64;       // includes <bos> = 0
+  int doc_len = 256;    // tokens per document (incl. <bos>)
+  // Markov background: each token has `branch` likely successors.
+  int branch = 4;
+  double branch_skew = 0.6;  // probability mass of the top successor
+  // Induction copies: probability per position of starting a copy of an
+  // earlier span, and the span length range.
+  double copy_start_prob = 0.08;
+  int copy_len_min = 6;
+  int copy_len_max = 12;
+  std::uint64_t table_seed = 0xc0ffee;  // fixes the Markov transition table
+};
+
+class Corpus {
+ public:
+  explicit Corpus(const CorpusConfig& config);
+
+  // Generates one document: tokens[0] == 0 (<bos>).
+  std::vector<int> make_document(Rng& rng) const;
+  std::vector<std::vector<int>> make_documents(Rng& rng, int count) const;
+
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  int sample_next(int current, Rng& rng) const;
+
+  CorpusConfig config_;
+  // transition_[t] lists the `branch` successor tokens of t.
+  std::vector<std::vector<int>> transition_;
+};
+
+}  // namespace topick::train

@@ -1,0 +1,529 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "tensor/ops.h"
+#include "train/corpus.h"
+
+namespace topick::train {
+
+namespace {
+
+// Parameter enumeration shared by the gradient/optimizer plumbing. The order
+// must match between weights and gradient mirrors.
+std::vector<Tensor*> collect(TransformerWeights& w) {
+  std::vector<Tensor*> out{&w.tok_emb, &w.pos_emb};
+  for (auto& l : w.layers) {
+    out.insert(out.end(),
+               {&l.ln1_gamma, &l.ln1_beta, &l.wq, &l.wk, &l.wv, &l.wo, &l.bq,
+                &l.bk, &l.bv, &l.bo, &l.ln2_gamma, &l.ln2_beta, &l.w_ff1,
+                &l.b_ff1, &l.w_ff2, &l.b_ff2});
+  }
+  out.push_back(&w.lnf_gamma);
+  out.push_back(&w.lnf_beta);
+  return out;
+}
+
+std::vector<Tensor*> collect(Gradients& g) {
+  std::vector<Tensor*> out{&g.tok_emb, &g.pos_emb};
+  for (auto& l : g.layers) {
+    out.insert(out.end(),
+               {&l.ln1_gamma, &l.ln1_beta, &l.wq, &l.wk, &l.wv, &l.wo, &l.bq,
+                &l.bk, &l.bv, &l.bo, &l.ln2_gamma, &l.ln2_beta, &l.w_ff1,
+                &l.b_ff1, &l.w_ff2, &l.b_ff2});
+  }
+  out.push_back(&g.lnf_gamma);
+  out.push_back(&g.lnf_beta);
+  return out;
+}
+
+// LayerNorm forward caching the normalized values and inverse stddev.
+struct LnCache {
+  Tensor xhat;     // (T, d)
+  std::vector<float> inv_std;  // (T)
+};
+
+void ln_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                Tensor& y, LnCache& cache, float eps = 1e-5f) {
+  const std::size_t rows = x.dim(0), d = x.dim(1);
+  cache.xhat = Tensor({rows, d});
+  cache.inv_std.assign(rows, 0.0f);
+  for (std::size_t t = 0; t < rows; ++t) {
+    const float* xr = x.data() + t * d;
+    float mean = 0.0f;
+    for (std::size_t i = 0; i < d; ++i) mean += xr[i];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (std::size_t i = 0; i < d; ++i) var += (xr[i] - mean) * (xr[i] - mean);
+    var /= static_cast<float>(d);
+    const float r = 1.0f / std::sqrt(var + eps);
+    cache.inv_std[t] = r;
+    float* xh = cache.xhat.data() + t * d;
+    float* yr = y.data() + t * d;
+    for (std::size_t i = 0; i < d; ++i) {
+      xh[i] = (xr[i] - mean) * r;
+      yr[i] = xh[i] * gamma.data()[i] + beta.data()[i];
+    }
+  }
+}
+
+// dy -> dx (returned), accumulating dgamma/dbeta.
+void ln_backward(const Tensor& dy, const LnCache& cache, const Tensor& gamma,
+                 Tensor& dgamma, Tensor& dbeta, Tensor& dx) {
+  const std::size_t rows = dy.dim(0), d = dy.dim(1);
+  for (std::size_t t = 0; t < rows; ++t) {
+    const float* dyr = dy.data() + t * d;
+    const float* xh = cache.xhat.data() + t * d;
+    const float r = cache.inv_std[t];
+    float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
+    for (std::size_t i = 0; i < d; ++i) {
+      const float dxhat = dyr[i] * gamma.data()[i];
+      mean_dxhat += dxhat;
+      mean_dxhat_xhat += dxhat * xh[i];
+      dgamma.data()[i] += dyr[i] * xh[i];
+      dbeta.data()[i] += dyr[i];
+    }
+    mean_dxhat /= static_cast<float>(d);
+    mean_dxhat_xhat /= static_cast<float>(d);
+    float* dxr = dx.data() + t * d;
+    for (std::size_t i = 0; i < d; ++i) {
+      const float dxhat = dyr[i] * gamma.data()[i];
+      dxr[i] += r * (dxhat - mean_dxhat - xh[i] * mean_dxhat_xhat);
+    }
+  }
+}
+
+// y(T,m) = x(T,n) * W(m,n)^T + b : the projection pattern used everywhere.
+void project_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                     Tensor& y) {
+  const std::size_t rows = x.dim(0), n = x.dim(1), m = w.dim(0);
+  for (std::size_t t = 0; t < rows; ++t) {
+    const float* xr = x.data() + t * n;
+    float* yr = y.data() + t * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* wr = w.data() + i * n;
+      float acc = b.data()[i];
+      for (std::size_t j = 0; j < n; ++j) acc += wr[j] * xr[j];
+      yr[i] = acc;
+    }
+  }
+}
+
+// Backward of project_forward: accumulates dW, db and dx.
+void project_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                      Tensor& dw, Tensor& db, Tensor& dx) {
+  const std::size_t rows = x.dim(0), n = x.dim(1), m = w.dim(0);
+  for (std::size_t t = 0; t < rows; ++t) {
+    const float* xr = x.data() + t * n;
+    const float* dyr = dy.data() + t * m;
+    float* dxr = dx.data() + t * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float g = dyr[i];
+      if (g == 0.0f) continue;
+      const float* wr = w.data() + i * n;
+      float* dwr = dw.data() + i * n;
+      db.data()[i] += g;
+      for (std::size_t j = 0; j < n; ++j) {
+        dwr[j] += g * xr[j];
+        dxr[j] += g * wr[j];
+      }
+    }
+  }
+}
+
+struct LayerActivations {
+  Tensor x_in;    // (T, d) layer input
+  LnCache ln1;
+  Tensor a;       // post-LN1
+  Tensor q, k, v; // (T, d)
+  std::vector<Tensor> probs;  // per head (T, T), causal
+  Tensor attn;    // (T, d) concatenated head outputs
+  Tensor x_mid;   // after attention residual
+  LnCache ln2;
+  Tensor b;       // post-LN2
+  Tensor u;       // (T, d_ff) preactivation
+  Tensor h;       // (T, d_ff) post GELU
+};
+
+}  // namespace
+
+Gradients Gradients::zeros_like(const TransformerWeights& w) {
+  Gradients g;
+  g.tok_emb = Tensor::zeros(w.tok_emb.shape());
+  g.pos_emb = Tensor::zeros(w.pos_emb.shape());
+  for (const auto& l : w.layers) {
+    Layer gl;
+    gl.ln1_gamma = Tensor::zeros(l.ln1_gamma.shape());
+    gl.ln1_beta = Tensor::zeros(l.ln1_beta.shape());
+    gl.wq = Tensor::zeros(l.wq.shape());
+    gl.wk = Tensor::zeros(l.wk.shape());
+    gl.wv = Tensor::zeros(l.wv.shape());
+    gl.wo = Tensor::zeros(l.wo.shape());
+    gl.bq = Tensor::zeros(l.bq.shape());
+    gl.bk = Tensor::zeros(l.bk.shape());
+    gl.bv = Tensor::zeros(l.bv.shape());
+    gl.bo = Tensor::zeros(l.bo.shape());
+    gl.ln2_gamma = Tensor::zeros(l.ln2_gamma.shape());
+    gl.ln2_beta = Tensor::zeros(l.ln2_beta.shape());
+    gl.w_ff1 = Tensor::zeros(l.w_ff1.shape());
+    gl.b_ff1 = Tensor::zeros(l.b_ff1.shape());
+    gl.w_ff2 = Tensor::zeros(l.w_ff2.shape());
+    gl.b_ff2 = Tensor::zeros(l.b_ff2.shape());
+    g.layers.push_back(std::move(gl));
+  }
+  g.lnf_gamma = Tensor::zeros(w.lnf_gamma.shape());
+  g.lnf_beta = Tensor::zeros(w.lnf_beta.shape());
+  return g;
+}
+
+void Gradients::scale(float s) {
+  auto tensors = collect(*this);
+  for (auto* t : tensors) {
+    for (auto& v : t->flat()) v *= s;
+  }
+}
+
+double Gradients::global_norm() const {
+  auto tensors = collect(const_cast<Gradients&>(*this));
+  double sq = 0.0;
+  for (auto* t : tensors) {
+    for (float v : t->flat()) sq += static_cast<double>(v) * v;
+  }
+  return std::sqrt(sq);
+}
+
+Trainer::Trainer(const ModelConfig& model_config,
+                 const TrainConfig& train_config)
+    : model_config_(model_config), config_(train_config) {
+  model_config_.validate();
+  require(config_.seq_len >= 2 && config_.seq_len <= model_config.max_seq,
+          "TrainConfig: seq_len out of range");
+  Rng rng(config_.seed);
+  weights_ = TransformerWeights::random_init(model_config_, rng);
+  grads_ = Gradients::zeros_like(weights_);
+  adam_m_ = Gradients::zeros_like(weights_);
+  adam_v_ = Gradients::zeros_like(weights_);
+}
+
+double Trainer::accumulate_sequence(std::span<const int> tokens) {
+  require(tokens.size() >= 2, "accumulate_sequence: need two tokens");
+  const auto T = std::min<std::size_t>(
+      tokens.size() - 1, static_cast<std::size_t>(config_.seq_len));
+  const auto d = static_cast<std::size_t>(model_config_.d_model);
+  const auto dff = static_cast<std::size_t>(model_config_.d_ff);
+  const auto H = static_cast<std::size_t>(model_config_.n_head);
+  const auto dh = d / H;
+  const auto L = static_cast<std::size_t>(model_config_.n_layer);
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // ---- forward ---------------------------------------------------------
+  Tensor x({T, d});
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto tok = static_cast<std::size_t>(tokens[t]);
+    for (std::size_t i = 0; i < d; ++i) {
+      x.at(t, i) = weights_.tok_emb.at(tok, i) + weights_.pos_emb.at(t, i);
+    }
+  }
+
+  std::vector<LayerActivations> acts(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    auto& lw = weights_.layers[l];
+    auto& act = acts[l];
+    act.x_in = x;
+    act.a = Tensor({T, d});
+    ln_forward(x, lw.ln1_gamma, lw.ln1_beta, act.a, act.ln1);
+    act.q = Tensor({T, d});
+    act.k = Tensor({T, d});
+    act.v = Tensor({T, d});
+    project_forward(act.a, lw.wq, lw.bq, act.q);
+    project_forward(act.a, lw.wk, lw.bk, act.k);
+    project_forward(act.a, lw.wv, lw.bv, act.v);
+
+    act.attn = Tensor({T, d});
+    act.probs.clear();
+    act.probs.reserve(H);
+    for (std::size_t h = 0; h < H; ++h) {
+      Tensor probs({T, T});
+      for (std::size_t t = 0; t < T; ++t) {
+        // Causal scores for head h.
+        float m = -1e30f;
+        std::vector<float> row(t + 1);
+        for (std::size_t i = 0; i <= t; ++i) {
+          float acc = 0.0f;
+          for (std::size_t c = 0; c < dh; ++c) {
+            acc += act.q.at(t, h * dh + c) * act.k.at(i, h * dh + c);
+          }
+          row[i] = acc * inv_sqrt_dh;
+          m = std::max(m, row[i]);
+        }
+        float denom = 0.0f;
+        for (std::size_t i = 0; i <= t; ++i) {
+          row[i] = std::exp(row[i] - m);
+          denom += row[i];
+        }
+        for (std::size_t i = 0; i <= t; ++i) {
+          probs.at(t, i) = row[i] / denom;
+        }
+        for (std::size_t c = 0; c < dh; ++c) {
+          float acc = 0.0f;
+          for (std::size_t i = 0; i <= t; ++i) {
+            acc += probs.at(t, i) * act.v.at(i, h * dh + c);
+          }
+          act.attn.at(t, h * dh + c) = acc;
+        }
+      }
+      act.probs.push_back(std::move(probs));
+    }
+
+    act.x_mid = Tensor({T, d});
+    {
+      Tensor proj({T, d});
+      project_forward(act.attn, lw.wo, lw.bo, proj);
+      for (std::size_t i = 0; i < T * d; ++i) {
+        act.x_mid.data()[i] = x.data()[i] + proj.data()[i];
+      }
+    }
+
+    act.b = Tensor({T, d});
+    ln_forward(act.x_mid, lw.ln2_gamma, lw.ln2_beta, act.b, act.ln2);
+    act.u = Tensor({T, dff});
+    project_forward(act.b, lw.w_ff1, lw.b_ff1, act.u);
+    act.h = act.u;
+    for (auto& val : act.h.flat()) val = ops::gelu(val);
+    Tensor f({T, d});
+    project_forward(act.h, lw.w_ff2, lw.b_ff2, f);
+    for (std::size_t i = 0; i < T * d; ++i) {
+      x.data()[i] = act.x_mid.data()[i] + f.data()[i];
+    }
+  }
+
+  LnCache lnf;
+  Tensor xf({T, d});
+  ln_forward(x, weights_.lnf_gamma, weights_.lnf_beta, xf, lnf);
+
+  // Tied output head: logits = xf * tok_emb^T.
+  const auto V = static_cast<std::size_t>(model_config_.vocab);
+  Tensor logits = ops::matmul_nt(xf, weights_.tok_emb);
+
+  // Loss + dlogits.
+  double loss = 0.0;
+  Tensor dlogits({T, V});
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto target = static_cast<std::size_t>(tokens[t + 1]);
+    float m = logits.at(t, 0);
+    for (std::size_t vtok = 1; vtok < V; ++vtok) {
+      m = std::max(m, logits.at(t, vtok));
+    }
+    double denom = 0.0;
+    for (std::size_t vtok = 0; vtok < V; ++vtok) {
+      denom += std::exp(static_cast<double>(logits.at(t, vtok) - m));
+    }
+    loss -= static_cast<double>(logits.at(t, target) - m) - std::log(denom);
+    const float invT = 1.0f / static_cast<float>(T);
+    for (std::size_t vtok = 0; vtok < V; ++vtok) {
+      const auto p = static_cast<float>(
+          std::exp(static_cast<double>(logits.at(t, vtok) - m)) / denom);
+      dlogits.at(t, vtok) = (p - (vtok == target ? 1.0f : 0.0f)) * invT;
+    }
+  }
+  loss /= static_cast<double>(T);
+
+  // ---- backward --------------------------------------------------------
+  // Head: dxf = dlogits * tok_emb; dtok_emb += dlogits^T * xf.
+  Tensor dxf({T, d});
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t vtok = 0; vtok < V; ++vtok) {
+      const float g = dlogits.at(t, vtok);
+      if (g == 0.0f) continue;
+      for (std::size_t i = 0; i < d; ++i) {
+        dxf.at(t, i) += g * weights_.tok_emb.at(vtok, i);
+        grads_.tok_emb.at(vtok, i) += g * xf.at(t, i);
+      }
+    }
+  }
+
+  Tensor dx({T, d});
+  ln_backward(dxf, lnf, weights_.lnf_gamma, grads_.lnf_gamma, grads_.lnf_beta,
+              dx);
+
+  for (std::size_t l = L; l-- > 0;) {
+    auto& lw = weights_.layers[l];
+    auto& gl = grads_.layers[l];
+    auto& act = acts[l];
+
+    // FFN block: x3 = x_mid + W2 gelu(W1 b + b1) + b2.
+    Tensor df = dx;  // gradient of the FFN output (residual passthrough in dx)
+    Tensor dhid({T, dff});
+    project_backward(act.h, lw.w_ff2, df, gl.w_ff2, gl.b_ff2, dhid);
+    // GELU.
+    Tensor du({T, dff});
+    for (std::size_t i = 0; i < T * dff; ++i) {
+      du.data()[i] = dhid.data()[i] * ops::gelu_grad(act.u.data()[i]);
+    }
+    Tensor db({T, d});
+    project_backward(act.b, lw.w_ff1, du, gl.w_ff1, gl.b_ff1, db);
+    Tensor dx_mid = dx;  // residual path
+    ln_backward(db, act.ln2, lw.ln2_gamma, gl.ln2_gamma, gl.ln2_beta, dx_mid);
+
+    // Attention block: x_mid = x_in + Wo attn + bo.
+    Tensor dattn({T, d});
+    project_backward(act.attn, lw.wo, dx_mid, gl.wo, gl.bo, dattn);
+
+    Tensor dq({T, d}), dk({T, d}), dv({T, d});
+    for (std::size_t h = 0; h < H; ++h) {
+      const auto& probs = act.probs[h];
+      for (std::size_t t = 0; t < T; ++t) {
+        // dp and dv.
+        std::vector<float> dp(t + 1, 0.0f);
+        for (std::size_t i = 0; i <= t; ++i) {
+          float acc = 0.0f;
+          for (std::size_t c = 0; c < dh; ++c) {
+            acc += dattn.at(t, h * dh + c) * act.v.at(i, h * dh + c);
+          }
+          dp[i] = acc;
+          const float p = probs.at(t, i);
+          for (std::size_t c = 0; c < dh; ++c) {
+            dv.at(i, h * dh + c) += p * dattn.at(t, h * dh + c);
+          }
+        }
+        // Softmax backward.
+        float dot = 0.0f;
+        for (std::size_t i = 0; i <= t; ++i) dot += probs.at(t, i) * dp[i];
+        for (std::size_t i = 0; i <= t; ++i) {
+          const float ds = probs.at(t, i) * (dp[i] - dot) * inv_sqrt_dh;
+          for (std::size_t c = 0; c < dh; ++c) {
+            dq.at(t, h * dh + c) += ds * act.k.at(i, h * dh + c);
+            dk.at(i, h * dh + c) += ds * act.q.at(t, h * dh + c);
+          }
+        }
+      }
+    }
+
+    Tensor da({T, d});
+    project_backward(act.a, lw.wq, dq, gl.wq, gl.bq, da);
+    project_backward(act.a, lw.wk, dk, gl.wk, gl.bk, da);
+    project_backward(act.a, lw.wv, dv, gl.wv, gl.bv, da);
+
+    Tensor dx_in = dx_mid;  // residual path into the layer input
+    ln_backward(da, act.ln1, lw.ln1_gamma, gl.ln1_gamma, gl.ln1_beta, dx_in);
+    dx = dx_in;
+  }
+
+  // Embeddings.
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto tok = static_cast<std::size_t>(tokens[t]);
+    for (std::size_t i = 0; i < d; ++i) {
+      grads_.tok_emb.at(tok, i) += dx.at(t, i);
+      grads_.pos_emb.at(t, i) += dx.at(t, i);
+    }
+  }
+
+  batch_tokens_ += 1.0;
+  return loss;
+}
+
+void Trainer::apply_adam() {
+  if (batch_tokens_ > 0) grads_.scale(1.0f / static_cast<float>(batch_tokens_));
+  if (config_.grad_clip > 0.0f) {
+    const double norm = grads_.global_norm();
+    if (norm > config_.grad_clip) {
+      grads_.scale(config_.grad_clip / static_cast<float>(norm));
+    }
+  }
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, adam_t_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, adam_t_);
+
+  auto ws = collect(weights_);
+  auto gs = collect(grads_);
+  auto ms = collect(adam_m_);
+  auto vs = collect(adam_v_);
+  require(ws.size() == gs.size() && ws.size() == ms.size() &&
+              ws.size() == vs.size(),
+          "Trainer: parameter enumeration mismatch");
+  for (std::size_t p = 0; p < ws.size(); ++p) {
+    auto w = ws[p]->flat();
+    auto g = gs[p]->flat();
+    auto m = ms[p]->flat();
+    auto v = vs[p]->flat();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g[i] * g[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= static_cast<float>(config_.lr * mhat /
+                                 (std::sqrt(vhat) + config_.eps));
+      g[i] = 0.0f;
+    }
+  }
+  batch_tokens_ = 0;
+}
+
+double Trainer::train_step(const std::vector<std::vector<int>>& batch) {
+  require(!batch.empty(), "train_step: empty batch");
+  double loss = 0.0;
+  for (const auto& doc : batch) loss += accumulate_sequence(doc);
+  apply_adam();
+  return loss / static_cast<double>(batch.size());
+}
+
+double Trainer::evaluate(const std::vector<std::vector<int>>& docs) {
+  require(!docs.empty(), "evaluate: no documents");
+  Transformer model(&weights_);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& doc : docs) {
+    const auto take = std::min<std::size_t>(
+        doc.size(), static_cast<std::size_t>(config_.seq_len) + 1);
+    total += model.sequence_nll(std::span<const int>(doc.data(), take)) *
+             static_cast<double>(take - 1);
+    count += take - 1;
+  }
+  return total / static_cast<double>(count);
+}
+
+Tensor Trainer::forward_logits(std::span<const int> tokens) {
+  // Reuse the incremental decoder for a forward-only pass.
+  Transformer model(&weights_);
+  model.begin_sequence();
+  const auto V = static_cast<std::size_t>(model_config_.vocab);
+  Tensor logits({tokens.size(), V});
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const auto step = model.decode_step(tokens[t]);
+    std::copy(step.begin(), step.end(), logits.data() + t * V);
+  }
+  return logits;
+}
+
+TrainedModel train_tiny_lm(const ModelConfig& model_config,
+                           const TrainConfig& train_config) {
+  CorpusConfig corpus_config;
+  corpus_config.vocab = model_config.vocab;
+  corpus_config.doc_len = train_config.seq_len + 1;
+  return train_tiny_lm(model_config, train_config, corpus_config);
+}
+
+TrainedModel train_tiny_lm(const ModelConfig& model_config,
+                           const TrainConfig& train_config,
+                           const CorpusConfig& corpus_config) {
+  require(corpus_config.vocab == model_config.vocab,
+          "train_tiny_lm: corpus vocab must match model vocab");
+  Corpus corpus(corpus_config);
+
+  Trainer trainer(model_config, train_config);
+  Rng rng(train_config.seed ^ 0xdaba5eedULL);
+
+  TrainedModel result;
+  for (int step = 0; step < train_config.steps; ++step) {
+    const auto batch = corpus.make_documents(rng, train_config.batch_docs);
+    result.final_train_loss = trainer.train_step(batch);
+  }
+  const auto heldout = corpus.make_documents(rng, 16);
+  result.heldout_nll = trainer.evaluate(heldout);
+  result.weights = std::move(trainer.weights());
+  return result;
+}
+
+}  // namespace topick::train

@@ -1,0 +1,96 @@
+// From-scratch training for the tiny LM: full manual backpropagation through
+// the pre-LN transformer (attention, layernorm, GELU FFN, tied embeddings)
+// with Adam. Exists so perplexity deltas under pruning are *measured* on a
+// real trained model rather than proxied (DESIGN.md §1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/config.h"
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+
+namespace topick::train {
+
+struct TrainConfig {
+  int steps = 300;
+  int batch_docs = 8;       // documents per step
+  int seq_len = 128;        // truncate/chunk documents to this length
+  float lr = 3e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.95f;
+  float eps = 1e-8f;
+  float grad_clip = 1.0f;   // global-norm clip; 0 disables
+  std::uint64_t seed = 0x7ea1;
+};
+
+// Gradient buffers mirroring TransformerWeights.
+struct Gradients {
+  Tensor tok_emb, pos_emb;
+  struct Layer {
+    Tensor ln1_gamma, ln1_beta, wq, wk, wv, wo, bq, bk, bv, bo;
+    Tensor ln2_gamma, ln2_beta, w_ff1, b_ff1, w_ff2, b_ff2;
+  };
+  std::vector<Layer> layers;
+  Tensor lnf_gamma, lnf_beta;
+
+  static Gradients zeros_like(const TransformerWeights& weights);
+  void scale(float s);
+  double global_norm() const;
+};
+
+class Trainer {
+ public:
+  Trainer(const ModelConfig& model_config, const TrainConfig& train_config);
+
+  // Teacher-forced forward + backward over one sequence; accumulates into
+  // grads_ and returns the mean NLL (nats/token).
+  double accumulate_sequence(std::span<const int> tokens);
+
+  // One optimizer step over a batch of sequences. Returns the mean loss.
+  double train_step(const std::vector<std::vector<int>>& batch);
+
+  // Mean NLL over held-out documents (no gradient).
+  double evaluate(const std::vector<std::vector<int>>& docs);
+
+  // Forward only: logits for every position of `tokens` (for tests).
+  Tensor forward_logits(std::span<const int> tokens);
+
+  TransformerWeights& weights() { return weights_; }
+  const TransformerWeights& weights() const { return weights_; }
+  Gradients& gradients() { return grads_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  void apply_adam();
+
+  ModelConfig model_config_;
+  TrainConfig config_;
+  TransformerWeights weights_;
+  Gradients grads_;
+  Gradients adam_m_;
+  Gradients adam_v_;
+  int adam_t_ = 0;
+  double batch_tokens_ = 0;  // tokens accumulated since last apply
+};
+
+// Convenience pipeline used by benches/examples: builds a corpus, trains,
+// returns the weights. Deterministic in (model, train, corpus) configs.
+// The corpus config defines the language being learned — evaluation must
+// use the same config or the PPL is out-of-distribution garbage.
+struct TrainedModel {
+  TransformerWeights weights;
+  double final_train_loss = 0.0;
+  double heldout_nll = 0.0;
+};
+
+struct CorpusConfig;  // train/corpus.h
+
+TrainedModel train_tiny_lm(const ModelConfig& model_config,
+                           const TrainConfig& train_config);
+TrainedModel train_tiny_lm(const ModelConfig& model_config,
+                           const TrainConfig& train_config,
+                           const CorpusConfig& corpus_config);
+
+}  // namespace topick::train

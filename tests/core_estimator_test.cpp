@@ -1,0 +1,144 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/expsum.h"
+#include "common/rng.h"
+#include "core/estimator.h"
+
+namespace topick {
+namespace {
+
+TEST(Estimator, NeverPrunesOnEmptyDenominator) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 0.5});
+  est.reset(4);
+  EXPECT_FALSE(est.should_prune(-100.0));
+}
+
+TEST(Estimator, ZeroThresholdDisablesPruning) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 0.0});
+  est.reset(4);
+  est.update_token(0, 100.0);
+  EXPECT_FALSE(est.should_prune(-1000.0));
+}
+
+TEST(Estimator, PrunesWhenUpperBoundBelowThreshold) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(4);
+  est.update_token(0, 10.0);  // denominator ~ exp(10)
+  // exp(0 - 10) = 4.5e-5 < 1e-3 -> prune.
+  EXPECT_TRUE(est.should_prune(0.0));
+  // exp(5 - 10) = 6.7e-3 > 1e-3 -> keep.
+  EXPECT_FALSE(est.should_prune(5.0));
+}
+
+TEST(Estimator, EstimateUpperMatchesClosedForm) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(2);
+  est.update_token(0, 2.0);
+  est.update_token(1, 1.0);
+  const double expected = std::exp(0.5) / (std::exp(2.0) + std::exp(1.0));
+  EXPECT_NEAR(est.estimate_upper(0.5), expected, 1e-12);
+}
+
+TEST(Estimator, UpdateReplacesExistingTerm) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(2);
+  est.update_token(0, 1.0);
+  est.update_token(0, 2.0);  // tightened s_min replaces, not accumulates
+  EXPECT_NEAR(est.log_denominator(), 2.0, 1e-12);
+}
+
+TEST(Estimator, RemoveOnPruneShrinksDenominator) {
+  ProbabilityEstimator est(EstimatorConfig{
+      .threshold = 1e-3, .policy = DenominatorPolicy::remove_on_prune});
+  est.reset(2);
+  est.update_token(0, 3.0);
+  est.update_token(1, 1.0);
+  est.mark_pruned(1);
+  EXPECT_NEAR(est.log_denominator(), 3.0, 1e-12);
+}
+
+TEST(Estimator, KeepStaleRetainsDenominator) {
+  ProbabilityEstimator est(EstimatorConfig{
+      .threshold = 1e-3, .policy = DenominatorPolicy::keep_stale});
+  est.reset(2);
+  est.update_token(0, 3.0);
+  est.update_token(1, 1.0);
+  const double before = est.log_denominator();
+  est.mark_pruned(1);
+  EXPECT_NEAR(est.log_denominator(), before, 1e-12);
+}
+
+TEST(Estimator, MarkPrunedWithoutContributionIsNoop) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(2);
+  est.update_token(0, 3.0);
+  est.mark_pruned(1);  // token 1 never contributed
+  EXPECT_NEAR(est.log_denominator(), 3.0, 1e-12);
+}
+
+TEST(Estimator, RejectsInvalidThreshold) {
+  EXPECT_THROW(ProbabilityEstimator(EstimatorConfig{.threshold = 1.5}),
+               std::logic_error);
+  EXPECT_THROW(ProbabilityEstimator(EstimatorConfig{.threshold = -0.1}),
+               std::logic_error);
+}
+
+TEST(Estimator, ResetClearsState) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(2);
+  est.update_token(0, 5.0);
+  est.reset(2);
+  EXPECT_TRUE(std::isinf(est.log_denominator()));
+  EXPECT_FALSE(est.should_prune(-100.0));
+}
+
+// Conservativeness: simulate the chunked protocol on random score sets and
+// verify that any token the estimator would prune has true softmax
+// probability below the threshold. This is the paper's Eq. (5) end to end.
+class EstimatorConservativeness
+    : public ::testing::TestWithParam<std::tuple<double, DenominatorPolicy>> {};
+
+TEST_P(EstimatorConservativeness, PrunedTokensAreTrulyNegligible) {
+  const auto [threshold, policy] = GetParam();
+  Rng rng(999);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 64;
+    std::vector<double> scores(n);
+    for (auto& s : scores) s = rng.normal(0.0, 4.0);
+    const double log_denom_true = log_sum_exp(scores.data(), n);
+
+    // Margins shrink over three "chunk levels"; level bounds must bracket
+    // the true score, mimicking the fixed-point margins.
+    const double margins[3] = {8.0, 2.0, 0.0};
+
+    ProbabilityEstimator est(EstimatorConfig{threshold, policy});
+    est.reset(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int level = 0; level < 3; ++level) {
+        const double s_max = scores[i] + margins[level];
+        const double s_min = scores[i] - margins[level];
+        if (est.should_prune(s_max)) {
+          const double true_p = std::exp(scores[i] - log_denom_true);
+          EXPECT_LT(true_p, threshold)
+              << "pruned token " << i << " at level " << level
+              << " has true probability " << true_p;
+          est.mark_pruned(i);
+          break;
+        }
+        est.update_token(i, s_min);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EstimatorConservativeness,
+    ::testing::Combine(::testing::Values(1e-4, 1e-3, 1e-2, 5e-2),
+                       ::testing::Values(DenominatorPolicy::remove_on_prune,
+                                         DenominatorPolicy::keep_stale)));
+
+}  // namespace
+}  // namespace topick

@@ -1,0 +1,164 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/attention_backends.h"
+#include "core/spatten.h"
+#include "model/transformer.h"
+
+namespace topick {
+namespace {
+
+SpAttenConfig basic_config(double keep = 0.5) {
+  SpAttenConfig c;
+  c.final_keep_ratio = keep;
+  c.start_layer = 1;
+  return c;
+}
+
+TEST(SpAtten, KeepCountRampsDownWithDepth) {
+  SpAttenPruner pruner(basic_config(0.25), 8);
+  pruner.begin_sequence(100);
+  std::size_t prev = 101;
+  for (int layer = 0; layer < 8; ++layer) {
+    const auto keep = pruner.keep_count(layer, 100);
+    EXPECT_LE(keep, prev);
+    prev = keep;
+  }
+  EXPECT_EQ(pruner.keep_count(0, 100), 100u);   // before start_layer
+  EXPECT_EQ(pruner.keep_count(7, 100), 25u);    // final ratio
+}
+
+TEST(SpAtten, KeepCountNeverZero) {
+  SpAttenPruner pruner(basic_config(0.1), 4);
+  pruner.begin_sequence(10);
+  EXPECT_GE(pruner.keep_count(3, 1), 1u);
+  EXPECT_GE(pruner.keep_count(3, 2), 1u);
+}
+
+TEST(SpAtten, NewestTokenAlwaysActive) {
+  SpAttenPruner pruner(basic_config(0.2), 4);
+  pruner.begin_sequence(50);
+  // Give old tokens large importance; the newest must still be active.
+  std::vector<std::size_t> tokens;
+  std::vector<double> probs;
+  for (std::size_t t = 0; t < 49; ++t) {
+    tokens.push_back(t);
+    probs.push_back(1.0);
+  }
+  pruner.accumulate_importance(tokens, probs);
+  const auto active = pruner.active_tokens(3, 50);
+  bool newest = false;
+  for (auto t : active) newest |= (t == 49);
+  EXPECT_TRUE(newest);
+}
+
+TEST(SpAtten, ActiveTokensRankedByImportance) {
+  SpAttenPruner pruner(basic_config(0.5), 2);
+  pruner.begin_sequence(8);
+  pruner.accumulate_importance({0, 1, 2, 3, 4, 5, 6},
+                               {0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6});
+  const auto active = pruner.active_tokens(1, 8);
+  EXPECT_EQ(active.size(), 4u);
+  // Top-3 importance {0, 2, 4} plus the newest token 7.
+  const std::vector<std::size_t> expected{0, 2, 4, 7};
+  EXPECT_EQ(active, expected);
+}
+
+TEST(SpAtten, CascadeActiveSetsNestAcrossLayers) {
+  SpAttenPruner pruner(basic_config(0.25), 6);
+  pruner.begin_sequence(64);
+  Rng rng(1);
+  std::vector<std::size_t> tokens;
+  std::vector<double> probs;
+  for (std::size_t t = 0; t < 63; ++t) {
+    tokens.push_back(t);
+    probs.push_back(rng.uniform());
+  }
+  pruner.accumulate_importance(tokens, probs);
+  std::vector<std::size_t> prev = pruner.active_tokens(1, 64);
+  for (int layer = 2; layer < 6; ++layer) {
+    const auto cur = pruner.active_tokens(layer, 64);
+    // Deeper layers keep a subset (ranking is stable between layers when
+    // importance does not change).
+    for (auto t : cur) {
+      EXPECT_NE(std::find(prev.begin(), prev.end(), t), prev.end())
+          << "token " << t << " appeared at layer " << layer
+          << " but was pruned earlier";
+    }
+    prev = cur;
+  }
+}
+
+TEST(SpAtten, ImportanceAccumulates) {
+  SpAttenPruner pruner(basic_config(), 2);
+  pruner.begin_sequence(4);
+  pruner.accumulate_importance({1}, {0.5});
+  pruner.accumulate_importance({1}, {0.25});
+  EXPECT_DOUBLE_EQ(pruner.importance(1), 0.75);
+}
+
+TEST(SpAtten, InvalidConfigThrows) {
+  SpAttenConfig c;
+  c.final_keep_ratio = 0.0;
+  EXPECT_THROW(SpAttenPruner(c, 4), std::logic_error);
+  c.final_keep_ratio = 1.5;
+  EXPECT_THROW(SpAttenPruner(c, 4), std::logic_error);
+}
+
+TEST(SpAttenBackend, AccountsAccessesInsideDecode) {
+  Rng rng(7);
+  const auto cfg = test_lm_config();
+  const auto weights = TransformerWeights::random_init(cfg, rng);
+
+  SpAttenConfig sp = basic_config(0.5);
+  SpAttenBackend backend(sp, cfg.n_layer, cfg.n_head,
+                         static_cast<std::size_t>(cfg.max_seq));
+  Transformer model(&weights, &backend);
+  model.begin_sequence();
+  for (int t = 0; t < 16; ++t) model.decode_step(t % cfg.vocab);
+
+  const auto& stats = backend.stats();
+  EXPECT_GT(stats.k_bits_fetched, 0u);
+  EXPECT_LE(stats.k_bits_fetched, stats.k_bits_baseline);
+  EXPECT_LE(stats.v_bits_fetched, stats.v_bits_baseline);
+}
+
+TEST(SpAttenBackend, FullKeepRatioFetchesEverything) {
+  Rng rng(8);
+  const auto cfg = test_lm_config();
+  const auto weights = TransformerWeights::random_init(cfg, rng);
+
+  SpAttenConfig sp = basic_config(1.0);
+  SpAttenBackend backend(sp, cfg.n_layer, cfg.n_head,
+                         static_cast<std::size_t>(cfg.max_seq));
+  Transformer model(&weights, &backend);
+  model.begin_sequence();
+  for (int t = 0; t < 8; ++t) model.decode_step(t % cfg.vocab);
+
+  const auto& stats = backend.stats();
+  EXPECT_EQ(stats.k_bits_fetched, stats.k_bits_baseline);
+  EXPECT_EQ(stats.v_bits_fetched, stats.v_bits_baseline);
+}
+
+TEST(SpAttenBackend, LocalValuePruningReducesVOnly) {
+  Rng rng(9);
+  const auto cfg = test_lm_config();
+  const auto weights = TransformerWeights::random_init(cfg, rng);
+
+  SpAttenConfig sp = basic_config(1.0);
+  sp.value_prob_threshold = 0.05;
+  SpAttenBackend backend(sp, cfg.n_layer, cfg.n_head,
+                         static_cast<std::size_t>(cfg.max_seq));
+  Transformer model(&weights, &backend);
+  model.begin_sequence();
+  for (int t = 0; t < 24; ++t) model.decode_step(t % cfg.vocab);
+
+  const auto& stats = backend.stats();
+  EXPECT_EQ(stats.k_bits_fetched, stats.k_bits_baseline);
+  EXPECT_LT(stats.v_bits_fetched, stats.v_bits_baseline);
+}
+
+}  // namespace
+}  // namespace topick

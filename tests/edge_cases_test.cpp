@@ -1,0 +1,190 @@
+// Edge cases and API-contract details not covered by the per-module suites.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "accel/engine.h"
+#include "core/attention_backends.h"
+#include "core/spatten.h"
+#include "core/token_picker.h"
+#include "train/corpus.h"
+#include "workload/generator.h"
+
+namespace topick {
+namespace {
+
+TEST(EstimatorEdge, EstimateUpperInfiniteWhenEmpty) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(4);
+  EXPECT_TRUE(std::isinf(est.estimate_upper(0.0)));
+}
+
+TEST(EstimatorEdge, UpperBoundCanExceedOneEarly) {
+  ProbabilityEstimator est(EstimatorConfig{.threshold = 1e-3});
+  est.reset(2);
+  est.update_token(0, -5.0);
+  EXPECT_GT(est.estimate_upper(2.0), 1.0);  // loose early bound is expected
+}
+
+TEST(OrderingEdge, RandomOrderDeterministicPerSeed) {
+  TokenPickerConfig a_config;
+  a_config.order = OrderingPolicy::random_order;
+  a_config.order_seed = 1234;
+  TokenPickerConfig b_config = a_config;
+
+  wl::WorkloadParams params;
+  params.context_len = 64;
+  params.head_dim = 16;
+  wl::Generator gen(params);
+  Rng rng(1);
+  const auto inst = gen.make_instance(rng);
+
+  TokenPickerAttention a(a_config), b(b_config);
+  const auto ra = a.attend(inst.q, inst.view());
+  const auto rb = b.attend(inst.q, inst.view());
+  ASSERT_EQ(ra.decisions.size(), rb.decisions.size());
+  for (std::size_t i = 0; i < ra.decisions.size(); ++i) {
+    EXPECT_EQ(ra.decisions[i].token, rb.decisions[i].token);
+    EXPECT_EQ(ra.decisions[i].kept, rb.decisions[i].kept);
+  }
+}
+
+TEST(BackendEdge, TokenPickerBackendStatsAccumulateAndReset) {
+  wl::WorkloadParams params;
+  params.context_len = 32;
+  params.head_dim = 16;
+  wl::Generator gen(params);
+  Rng rng(2);
+  const auto inst = gen.make_instance(rng);
+
+  TokenPickerConfig config;
+  config.estimator.threshold = 1e-3;
+  TokenPickerBackend backend(config);
+  std::vector<float> out(16);
+  AttentionContext ctx;
+  backend.attend(inst.q, inst.view(), out, ctx);
+  const auto first_total = backend.stats().tokens_total;
+  backend.attend(inst.q, inst.view(), out, ctx);
+  EXPECT_EQ(backend.stats().tokens_total, 2 * first_total);
+  backend.reset_stats();
+  EXPECT_EQ(backend.stats().tokens_total, 0u);
+  EXPECT_GE(backend.max_oracle_dropped_mass(), 0.0);
+}
+
+TEST(SpAttenEdge, SingleTokenContextAlwaysKept) {
+  SpAttenConfig config;
+  config.final_keep_ratio = 0.1;
+  SpAttenPruner pruner(config, 4);
+  pruner.begin_sequence(8);
+  const auto active = pruner.active_tokens(3, 1);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], 0u);
+}
+
+TEST(AccessStatsEdge, EmptyStatsHaveZeroRatios) {
+  AccessStats stats;
+  EXPECT_EQ(stats.k_reduction(), 0.0);
+  EXPECT_EQ(stats.v_reduction(), 0.0);
+  EXPECT_EQ(stats.pruning_ratio(), 0.0);
+}
+
+TEST(EngineEdge, TwoBitChunksRunEndToEnd) {
+  // Six 2-bit chunks exercise the id-field packing and multi-level
+  // scoreboard churn.
+  wl::WorkloadParams params;
+  params.context_len = 96;
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  Rng rng(3);
+  const auto inst = gen.make_instance(rng);
+
+  accel::AccelConfig config;
+  config.design = accel::DesignPoint::topick_ooo;
+  config.estimator.threshold = 1e-3;
+  config.quant.chunk_bits = 2;
+  config.dram.enable_refresh = false;
+  accel::Engine engine(config);
+
+  accel::AccelInstance hw;
+  fx::QuantParams base = config.quant;
+  hw.kv = quantize_kv(inst.view(), base);
+  fx::QuantParams qp = base;
+  qp.scale = fx::choose_scale(inst.q, base.total_bits);
+  hw.q = fx::quantize(inst.q, qp);
+  hw.score_scale = static_cast<double>(qp.scale) * hw.kv.keys[0].params.scale /
+                   8.0;
+  const auto result = engine.run(hw);
+  std::uint64_t histo = 0;
+  for (auto c : result.access.chunk_histogram) histo += c;
+  EXPECT_EQ(histo, 96u);
+  EXPECT_GT(result.survivors, 0u);
+}
+
+TEST(EngineEdge, SingleLaneConfigCompletes) {
+  wl::WorkloadParams params;
+  params.context_len = 64;
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  Rng rng(4);
+  const auto inst = gen.make_instance(rng);
+
+  accel::AccelConfig config;
+  config.design = accel::DesignPoint::topick_ooo;
+  config.estimator.threshold = 1e-3;
+  config.pe_lanes = 1;
+  config.dram.enable_refresh = false;
+  accel::Engine engine(config);
+
+  accel::AccelInstance hw;
+  fx::QuantParams base;
+  hw.kv = quantize_kv(inst.view(), base);
+  fx::QuantParams qp = base;
+  qp.scale = fx::choose_scale(inst.q, base.total_bits);
+  hw.q = fx::quantize(inst.q, qp);
+  hw.score_scale = static_cast<double>(qp.scale) * hw.kv.keys[0].params.scale /
+                   8.0;
+  const auto result = engine.run(hw);
+  EXPECT_GT(result.core_cycles, 0u);
+  EXPECT_GT(result.survivors, 0u);
+}
+
+TEST(CorpusEdge, DocumentLengthExactEvenWithActiveCopy) {
+  train::CorpusConfig config;
+  config.doc_len = 40;
+  config.copy_start_prob = 0.5;  // copies frequently truncated by doc end
+  train::Corpus corpus(config);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(corpus.make_document(rng).size(), 40u);
+  }
+}
+
+TEST(WorkloadEdge, SingleTokenInstance) {
+  wl::WorkloadParams params;
+  params.context_len = 4;
+  params.head_dim = 8;
+  wl::Generator gen(params);
+  Rng rng(6);
+  const auto inst = gen.make_instance(rng, 1);
+  EXPECT_EQ(inst.len, 1u);
+  TokenPickerConfig config;
+  config.estimator.threshold = 0.1;
+  TokenPickerAttention op(config);
+  const auto result = op.attend(inst.q, inst.view());
+  EXPECT_EQ(result.stats.tokens_kept, 1u);
+}
+
+TEST(QuantEdge, NegativeQmaxBoundary) {
+  fx::QuantParams p;
+  p.scale = 1.0f;
+  const std::vector<float> xs{2047.0f, -2048.0f, 2047.4f, -2048.4f};
+  const auto q = fx::quantize(xs, p);
+  EXPECT_EQ(q.values[0], 2047);
+  EXPECT_EQ(q.values[1], -2048);
+  EXPECT_EQ(q.values[2], 2047);
+  EXPECT_EQ(q.values[3], -2048);
+}
+
+}  // namespace
+}  // namespace topick

@@ -1,0 +1,162 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/estimator.h"
+#include "core/exact_attention.h"
+#include "core/token_picker.h"
+#include "fixedpoint/fxexp.h"
+#include "workload/generator.h"
+
+namespace topick::fx {
+namespace {
+
+TEST(FxFormat, Q16RoundTrip) {
+  for (double x : {-7.25, -0.001, 0.0, 0.5, 3.14159, 100.0}) {
+    EXPECT_NEAR(from_q16(to_q16(x)), x, 1.0 / 65536.0 + 1e-12);
+  }
+}
+
+TEST(FxFormat, Q16Saturates) {
+  EXPECT_EQ(to_q16(1e9), std::numeric_limits<q16_16>::max());
+  EXPECT_EQ(to_q16(-1e9), std::numeric_limits<q16_16>::min());
+}
+
+TEST(FxExp, DirectedBoundsHoldOverWorkingRange) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const double x = rng.uniform(-10.5, 10.5);
+    const q16_16 xq = to_q16(x);
+    const double truth = std::exp(from_q16(xq)) * kExpScale;
+    const double lo = static_cast<double>(fxexp(xq, ExpRounding::down));
+    const double hi = static_cast<double>(fxexp(xq, ExpRounding::up));
+    ASSERT_LE(lo, truth + 1e-6) << "x=" << x;
+    ASSERT_GE(hi, truth - 1e-6) << "x=" << x;
+  }
+}
+
+TEST(FxExp, BoundsAreTight) {
+  // The guard band costs < 0.1% relative — tight enough that fixed-point
+  // decisions rarely differ from double decisions.
+  Rng rng(2);
+  double worst = 0.0;
+  for (int trial = 0; trial < 10000; ++trial) {
+    const double x = rng.uniform(-8.0, 8.0);
+    const q16_16 xq = to_q16(x);
+    const double truth = std::exp(from_q16(xq)) * kExpScale;
+    const double lo = static_cast<double>(fxexp(xq, ExpRounding::down));
+    // Relative band at working magnitudes, absolute ulp floor at the
+    // small end where one Q16.16 ulp dominates.
+    const double slack = (truth - lo) - 4.0;
+    if (slack > 0.0) worst = std::max(worst, slack / truth);
+  }
+  EXPECT_LT(worst, 2e-3);
+}
+
+TEST(FxExp, SaturatesLowAndHigh) {
+  EXPECT_EQ(fxexp(to_q16(-20.0), ExpRounding::down), 0u);
+  EXPECT_EQ(fxexp(to_q16(-20.0), ExpRounding::up), 1u);
+  EXPECT_EQ(fxexp(to_q16(15.0), ExpRounding::up),
+            std::numeric_limits<uq16_16>::max());
+  EXPECT_GT(fxexp(to_q16(15.0), ExpRounding::down), 1u << 30);
+}
+
+TEST(FxExp, MonotoneNondecreasing) {
+  uq16_16 prev = 0;
+  for (double x = -10.0; x <= 10.0; x += 0.01) {
+    const uq16_16 v = fxexp(to_q16(x), ExpRounding::down);
+    ASSERT_GE(v, prev) << "x=" << x;
+    prev = v;
+  }
+}
+
+TEST(FxLog, DirectedBoundsHold) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const double x = std::exp(rng.uniform(-10.0, 10.0));
+    const auto xq = static_cast<uq16_16>(
+        std::min<double>(x * kExpScale,
+                         std::numeric_limits<uq16_16>::max()));
+    if (xq == 0) continue;
+    const double truth = std::log(from_uq16(xq));
+    const double lo = from_q16(fxlog(xq, ExpRounding::down));
+    const double hi = from_q16(fxlog(xq, ExpRounding::up));
+    ASSERT_LE(lo, truth + 1e-9) << "x=" << x;
+    ASSERT_GE(hi, truth - 1e-9) << "x=" << x;
+  }
+}
+
+TEST(FxLog, LogOfZeroThrows) {
+  EXPECT_THROW(fxlog(0, ExpRounding::down), std::logic_error);
+}
+
+TEST(FxLog, InvertsExpWithinGuards) {
+  for (double x : {-5.0, -1.0, 0.0, 2.5, 7.0}) {
+    const auto e = fxexp(to_q16(x), ExpRounding::down);
+    if (e == 0) continue;
+    const double back = from_q16(fxlog(e, ExpRounding::up));
+    EXPECT_NEAR(back, x, 0.02) << "x=" << x;
+  }
+}
+
+// The RPDU fixed-point decision must be a (possibly more cautious) subset of
+// the double-precision decision: it may keep extra tokens, never prune
+// extra ones.
+TEST(FxRpdu, FixedPointPrunesSubsetOfDouble) {
+  Rng rng(4);
+  int fx_prunes = 0, disagreements = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    EstimatorConfig dcfg;
+    dcfg.threshold = 1e-3;
+    EstimatorConfig fcfg = dcfg;
+    fcfg.fixed_point_compare = true;
+    ProbabilityEstimator d(dcfg), f(fcfg);
+    d.reset(32);
+    f.reset(32);
+    for (std::size_t t = 0; t < 16; ++t) {
+      const double s = rng.normal(0.0, 3.0);
+      d.update_token(t, s);
+      f.update_token(t, s);
+    }
+    for (int probe = 0; probe < 32; ++probe) {
+      const double s_max = rng.normal(0.0, 4.0);
+      const bool dp = d.should_prune(s_max);
+      const bool fp = f.should_prune(s_max);
+      if (fp) {
+        ++fx_prunes;
+        ASSERT_TRUE(dp) << "fixed-point pruned what double kept";
+      }
+      disagreements += (dp != fp);
+    }
+  }
+  EXPECT_GT(fx_prunes, 0);
+  // The Q16.16 guard only flips decisions in a thin band around equality.
+  EXPECT_LT(disagreements, 200 * 32 / 50);
+}
+
+TEST(FxRpdu, EndToEndAttentionStillSound) {
+  wl::WorkloadParams params;
+  params.context_len = 256;
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  Rng rng(5);
+  const auto inst = gen.make_instance(rng);
+
+  TokenPickerConfig config;
+  config.estimator.threshold = 1e-3;
+  config.estimator.fixed_point_compare = true;
+  TokenPickerAttention op(config);
+  const auto result = op.attend(inst.q, inst.view());
+  const auto exact = exact_attention_quantized(inst.q, inst.view());
+  for (const auto& d : result.decisions) {
+    if (!d.kept) {
+      ASSERT_LT(exact.probs[d.token], 1e-3);
+    }
+  }
+  EXPECT_LT(result.stats.tokens_kept, 256u);  // still prunes usefully
+}
+
+}  // namespace
+}  // namespace topick::fx

@@ -1,0 +1,196 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace topick {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.shape_str(), "[3, 4]");
+}
+
+TEST(Tensor, AtIndexingRoundTrip) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t.data()[1 * 3 + 2], 5.0f);
+}
+
+TEST(Tensor, ThreeDimIndexing) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t.data()[(1 * 3 + 2) * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, BadIndexThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(2, 0), std::logic_error);
+  EXPECT_THROW(t.at(5), std::logic_error);
+}
+
+TEST(Tensor, RowViewAliasesStorage) {
+  Tensor t({2, 3});
+  auto row = t.row(1);
+  row[0] = 9.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 0), 9.0f);
+}
+
+TEST(Tensor, RandnHasRequestedSpread) {
+  Rng rng(3);
+  Tensor t = Tensor::randn({100, 100}, rng, 0.5f);
+  double sum = 0.0, sq = 0.0;
+  for (float v : t.flat()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sq / n), 0.5, 0.02);
+}
+
+TEST(Ops, MatmulMatchesHandComputation) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulNtAgreesWithMatmul) {
+  Rng rng(4);
+  Tensor a = Tensor::randn({5, 7}, rng);
+  Tensor b = Tensor::randn({7, 6}, rng);
+  Tensor bt({6, 7});
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Tensor c1 = ops::matmul(a, b);
+  const Tensor c2 = ops::matmul_nt(a, bt);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-4f);
+  }
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(ops::matmul(a, b), std::logic_error);
+}
+
+TEST(Ops, GemvMatchesMatmul) {
+  Rng rng(5);
+  Tensor w = Tensor::randn({4, 6}, rng);
+  std::vector<float> x(6), y(4);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  ops::gemv(w, x, y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < 6; ++j) acc += w.at(i, j) * x[j];
+    EXPECT_NEAR(y[i], acc, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxSumsToOneAndOrders) {
+  std::vector<float> xs{1.0f, 2.0f, 3.0f};
+  ops::softmax_inplace(xs);
+  EXPECT_NEAR(xs[0] + xs[1] + xs[2], 1.0f, 1e-6f);
+  EXPECT_LT(xs[0], xs[1]);
+  EXPECT_LT(xs[1], xs[2]);
+}
+
+TEST(Ops, SoftmaxStableForLargeInputs) {
+  std::vector<float> xs{1000.0f, 1001.0f};
+  ops::softmax_inplace(xs);
+  EXPECT_NEAR(xs[0], 1.0f / (1.0f + std::exp(1.0f)), 1e-5f);
+  EXPECT_FALSE(std::isnan(xs[1]));
+}
+
+TEST(Ops, SoftmaxRowsNormalizesEachRow) {
+  Rng rng(6);
+  Tensor t = Tensor::randn({4, 8}, rng);
+  ops::softmax_rows(t);
+  for (std::size_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (float v : t.row(i)) sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, LayernormNormalizesAndAffines) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> gamma{2.0f, 2.0f, 2.0f, 2.0f};
+  std::vector<float> beta{1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> y(4);
+  ops::layernorm(x, gamma, beta, y);
+  float mean = 0.0f;
+  for (float v : y) mean += v;
+  mean /= 4.0f;
+  EXPECT_NEAR(mean, 1.0f, 1e-4f);  // beta shifts mean to 1
+  float var = 0.0f;
+  for (float v : y) var += (v - mean) * (v - mean);
+  var /= 4.0f;
+  EXPECT_NEAR(std::sqrt(var), 2.0f, 1e-2f);  // gamma scales stddev to 2
+}
+
+TEST(Ops, GeluKnownValues) {
+  EXPECT_NEAR(ops::gelu(0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(ops::gelu(1.0f), 0.8412f, 1e-3f);
+  EXPECT_NEAR(ops::gelu(-1.0f), -0.1588f, 1e-3f);
+  EXPECT_NEAR(ops::gelu(10.0f), 10.0f, 1e-3f);
+}
+
+TEST(Ops, GeluGradMatchesFiniteDifference) {
+  for (float x : {-2.0f, -0.5f, 0.0f, 0.7f, 2.5f}) {
+    const float h = 1e-3f;
+    const float fd = (ops::gelu(x + h) - ops::gelu(x - h)) / (2.0f * h);
+    EXPECT_NEAR(ops::gelu_grad(x), fd, 1e-3f);
+  }
+}
+
+TEST(Ops, CrossEntropyUniformLogitsIsLogVocab) {
+  Tensor logits({3, 10}, 0.0f);
+  std::vector<int> targets{1, 5, 9};
+  EXPECT_NEAR(ops::cross_entropy(logits, targets), std::log(10.0), 1e-6);
+}
+
+TEST(Ops, CrossEntropyRewardsCorrectLogit) {
+  Tensor logits({1, 4}, 0.0f);
+  logits.at(0, 2) = 10.0f;
+  std::vector<int> target_hit{2}, target_miss{0};
+  EXPECT_LT(ops::cross_entropy(logits, target_hit), 0.01);
+  EXPECT_GT(ops::cross_entropy(logits, target_miss), 5.0);
+}
+
+TEST(Ops, CrossEntropyValidatesTargets) {
+  Tensor logits({1, 4}, 0.0f);
+  std::vector<int> bad{7};
+  EXPECT_THROW(ops::cross_entropy(logits, bad), std::logic_error);
+}
+
+TEST(Ops, AddAndScaleInplace) {
+  std::vector<float> y{1.0f, 2.0f};
+  std::vector<float> x{3.0f, 4.0f};
+  ops::add_inplace(y, x);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  ops::scale_inplace(y, 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+}
+
+}  // namespace
+}  // namespace topick

@@ -1,0 +1,262 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "train/checkpoint.h"
+#include "train/corpus.h"
+#include "train/trainer.h"
+
+namespace topick::train {
+namespace {
+
+ModelConfig grad_check_config() {
+  ModelConfig c;
+  c.name = "gradcheck";
+  c.n_layer = 2;
+  c.n_head = 2;
+  c.d_model = 16;
+  c.d_ff = 32;
+  c.vocab = 12;
+  c.max_seq = 16;
+  return c;
+}
+
+TrainConfig small_train_config() {
+  TrainConfig t;
+  t.seq_len = 12;
+  t.steps = 5;
+  t.batch_docs = 2;
+  return t;
+}
+
+TEST(Corpus, DocumentsStartWithBosAndStayInVocab) {
+  CorpusConfig config;
+  Corpus corpus(config);
+  Rng rng(1);
+  for (const auto& doc : corpus.make_documents(rng, 8)) {
+    ASSERT_EQ(doc.front(), 0);
+    ASSERT_EQ(static_cast<int>(doc.size()), config.doc_len);
+    for (int tok : doc) {
+      ASSERT_GE(tok, 0);
+      ASSERT_LT(tok, config.vocab);
+    }
+    // <bos> appears only at position 0.
+    for (std::size_t i = 1; i < doc.size(); ++i) ASSERT_NE(doc[i], 0);
+  }
+}
+
+TEST(Corpus, ContainsRepeatedSpans) {
+  CorpusConfig config;
+  config.copy_start_prob = 0.15;
+  Corpus corpus(config);
+  Rng rng(2);
+  int docs_with_repeat = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto doc = corpus.make_document(rng);
+    // Look for any 6-gram that appears twice.
+    std::set<std::vector<int>> seen;
+    bool repeat = false;
+    for (std::size_t i = 1; i + 6 <= doc.size(); ++i) {
+      std::vector<int> gram(doc.begin() + static_cast<long>(i),
+                            doc.begin() + static_cast<long>(i + 6));
+      if (!seen.insert(gram).second) {
+        repeat = true;
+        break;
+      }
+    }
+    docs_with_repeat += repeat;
+  }
+  EXPECT_GE(docs_with_repeat, 7);
+}
+
+TEST(Corpus, MarkovBackgroundIsSkewed) {
+  CorpusConfig config;
+  config.copy_start_prob = 0.0;  // pure Markov
+  Corpus corpus(config);
+  Rng rng(3);
+  const auto doc = corpus.make_document(rng);
+  // The skewed successor table makes some bigrams much more common than a
+  // uniform baseline; verify by counting distinct successors of a frequent
+  // token.
+  std::vector<std::set<int>> successors(
+      static_cast<std::size_t>(config.vocab));
+  for (std::size_t i = 1; i + 1 < doc.size(); ++i) {
+    successors[static_cast<std::size_t>(doc[i])].insert(doc[i + 1]);
+  }
+  for (const auto& s : successors) {
+    EXPECT_LE(s.size(), static_cast<std::size_t>(config.branch));
+  }
+}
+
+TEST(Corpus, InvalidConfigThrows) {
+  CorpusConfig config;
+  config.branch = 1;
+  EXPECT_THROW(Corpus{config}, std::logic_error);
+}
+
+// The decisive correctness test: analytic gradients match central finite
+// differences for a sample of parameters in every tensor class.
+TEST(Trainer, GradientsMatchFiniteDifferences) {
+  const auto model_config = grad_check_config();
+  TrainConfig train_config = small_train_config();
+  Trainer trainer(model_config, train_config);
+
+  const std::vector<int> tokens{0, 3, 7, 1, 9, 4, 4, 2, 11, 5, 6, 8, 3};
+
+  // Analytic gradients.
+  trainer.accumulate_sequence(tokens);
+  auto& grads = trainer.gradients();
+
+  // Probe a handful of parameters across structurally different tensors.
+  struct Probe {
+    float* weight;
+    float analytic;
+    const char* name;
+  };
+  auto& w = trainer.weights();
+  std::vector<Probe> probes{
+      {&w.tok_emb.at(3, 5), grads.tok_emb.at(3, 5), "tok_emb"},
+      {&w.pos_emb.at(2, 7), grads.pos_emb.at(2, 7), "pos_emb"},
+      {&w.layers[0].wq.at(4, 9), grads.layers[0].wq.at(4, 9), "wq0"},
+      {&w.layers[0].wk.at(1, 2), grads.layers[0].wk.at(1, 2), "wk0"},
+      {&w.layers[0].wv.at(8, 3), grads.layers[0].wv.at(8, 3), "wv0"},
+      {&w.layers[0].wo.at(0, 11), grads.layers[0].wo.at(0, 11), "wo0"},
+      {&w.layers[0].bq.at(6), grads.layers[0].bq.at(6), "bq0"},
+      {&w.layers[1].w_ff1.at(17, 4), grads.layers[1].w_ff1.at(17, 4), "wff1"},
+      {&w.layers[1].w_ff2.at(3, 21), grads.layers[1].w_ff2.at(3, 21), "wff2"},
+      {&w.layers[1].b_ff1.at(9), grads.layers[1].b_ff1.at(9), "bff1"},
+      {&w.layers[0].ln1_gamma.at(4), grads.layers[0].ln1_gamma.at(4), "ln1g"},
+      {&w.layers[1].ln2_beta.at(2), grads.layers[1].ln2_beta.at(2), "ln2b"},
+      {&w.lnf_gamma.at(10), grads.lnf_gamma.at(10), "lnfg"},
+  };
+
+  for (const auto& probe : probes) {
+    const float h = 1e-3f;
+    const float original = *probe.weight;
+    *probe.weight = original + h;
+    const double loss_plus = trainer.accumulate_sequence(tokens);
+    trainer.gradients() = Gradients::zeros_like(w);  // discard
+    *probe.weight = original - h;
+    const double loss_minus = trainer.accumulate_sequence(tokens);
+    trainer.gradients() = Gradients::zeros_like(w);
+    *probe.weight = original;
+
+    const double fd = (loss_plus - loss_minus) / (2.0 * h);
+    EXPECT_NEAR(probe.analytic, fd,
+                2e-3 + 0.05 * std::abs(fd))
+        << "parameter " << probe.name;
+  }
+}
+
+TEST(Trainer, LossDecreasesOverTraining) {
+  ModelConfig model_config = grad_check_config();
+  model_config.vocab = 32;
+  TrainConfig train_config;
+  train_config.seq_len = 14;
+  train_config.batch_docs = 4;
+  train_config.lr = 5e-3f;
+
+  CorpusConfig corpus_config;
+  corpus_config.vocab = model_config.vocab;
+  corpus_config.doc_len = 15;
+  Corpus corpus(corpus_config);
+  Rng rng(5);
+
+  Trainer trainer(model_config, train_config);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    const double loss = trainer.train_step(corpus.make_documents(rng, 4));
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first - 0.3) << "training did not reduce loss";
+}
+
+TEST(Trainer, ForwardLogitsMatchIncrementalDecoder) {
+  // The trainer's teacher-forced forward and the KV-cache decoder are two
+  // implementations of the same function.
+  const auto model_config = grad_check_config();
+  Trainer trainer(model_config, small_train_config());
+  const std::vector<int> tokens{0, 5, 2, 8, 1, 10};
+
+  const Tensor logits = trainer.forward_logits(tokens);
+
+  // Re-derive via accumulate path: evaluate() uses the decoder, so instead
+  // compare against a manual decode with the same weights.
+  Transformer model(&trainer.weights());
+  model.begin_sequence();
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const auto step = model.decode_step(tokens[t]);
+    for (std::size_t v = 0; v < step.size(); ++v) {
+      ASSERT_NEAR(logits.at(t, v), step[v], 1e-4f);
+    }
+  }
+}
+
+TEST(Trainer, EvaluateMatchesSequenceNll) {
+  const auto model_config = grad_check_config();
+  TrainConfig cfg = small_train_config();
+  Trainer trainer(model_config, cfg);
+  const std::vector<std::vector<int>> docs{{0, 3, 7, 1, 9, 4}};
+  Transformer model(&trainer.weights());
+  const double direct = model.sequence_nll(docs[0]);
+  EXPECT_NEAR(trainer.evaluate(docs), direct, 1e-9);
+}
+
+TEST(Trainer, GradClipBoundsGlobalNorm) {
+  const auto model_config = grad_check_config();
+  TrainConfig cfg = small_train_config();
+  cfg.grad_clip = 0.01f;  // aggressive clip
+  Trainer trainer(model_config, cfg);
+  const std::vector<std::vector<int>> batch{{0, 3, 7, 1, 9, 4, 4, 2}};
+  // One step should apply without blowing up weights.
+  const double loss1 = trainer.train_step(batch);
+  const double loss2 = trainer.train_step(batch);
+  EXPECT_TRUE(std::isfinite(loss1));
+  EXPECT_TRUE(std::isfinite(loss2));
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const auto model_config = grad_check_config();
+  Trainer trainer(model_config, small_train_config());
+  const auto path =
+      (std::filesystem::temp_directory_path() / "topick_ckpt_test.bin")
+          .string();
+  save_checkpoint(trainer.weights(), path);
+  ASSERT_TRUE(checkpoint_exists(path));
+
+  const auto loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.config.n_layer, model_config.n_layer);
+  EXPECT_EQ(loaded.config.vocab, model_config.vocab);
+  // Logits identical for identical inputs.
+  Transformer a(&trainer.weights()), b(&loaded);
+  a.begin_sequence();
+  b.begin_sequence();
+  const auto la = a.decode_step(3);
+  const auto lb = b.decode_step(3);
+  for (std::size_t i = 0; i < la.size(); ++i) EXPECT_FLOAT_EQ(la[i], lb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/path/weights.bin"),
+               std::runtime_error);
+}
+
+TEST(TrainPipeline, TinyRunProducesFiniteMetrics) {
+  ModelConfig model_config = grad_check_config();
+  TrainConfig train_config = small_train_config();
+  train_config.steps = 3;
+  const auto trained = train_tiny_lm(model_config, train_config);
+  EXPECT_TRUE(std::isfinite(trained.final_train_loss));
+  EXPECT_TRUE(std::isfinite(trained.heldout_nll));
+  EXPECT_EQ(trained.weights.layers.size(),
+            static_cast<std::size_t>(model_config.n_layer));
+}
+
+}  // namespace
+}  // namespace topick::train

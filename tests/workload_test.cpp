@@ -1,0 +1,164 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytic/traffic.h"
+#include "common/stats.h"
+#include "workload/generator.h"
+#include "workload/zoo.h"
+
+namespace topick {
+namespace {
+
+TEST(Workload, InstanceShapesMatchParams) {
+  wl::WorkloadParams params;
+  params.context_len = 64;
+  params.head_dim = 32;
+  wl::Generator gen(params);
+  Rng rng(1);
+  const auto inst = gen.make_instance(rng);
+  EXPECT_EQ(inst.len, 64u);
+  EXPECT_EQ(inst.head_dim, 32u);
+  EXPECT_EQ(inst.q.size(), 32u);
+  EXPECT_EQ(inst.keys.size(), 64u * 32u);
+  EXPECT_EQ(inst.values.size(), 64u * 32u);
+}
+
+TEST(Workload, BackSolvedScoresHitTargets) {
+  wl::WorkloadParams params;
+  params.context_len = 32;
+  params.head_dim = 64;
+  wl::Generator gen(params);
+  Rng rng(2);
+  const auto inst = gen.make_instance(rng);
+  const double inv_sqrt_d = 1.0 / std::sqrt(64.0);
+  for (std::size_t i = 0; i < inst.len; ++i) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < 64; ++j) {
+      dot += static_cast<double>(inst.q[j]) * inst.keys[i * 64 + j];
+    }
+    EXPECT_NEAR(dot * inv_sqrt_d, inst.target_scores[i], 1e-3)
+        << "token " << i;
+  }
+}
+
+TEST(Workload, LocalityBoostsRecentAndFirstTokens) {
+  wl::WorkloadParams params;
+  params.context_len = 256;
+  wl::Generator gen(params);
+  Rng rng(3);
+  RunningStat recent, first, middle;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inst = gen.make_instance(rng);
+    first.add(inst.target_scores[0]);
+    recent.add(inst.target_scores[inst.len - 1]);
+    for (std::size_t i = 32; i < inst.len - 32; ++i) {
+      middle.add(inst.target_scores[i]);
+    }
+  }
+  // The configured boosts should show up (at least half, after noise).
+  EXPECT_GT(first.mean(), middle.mean() + 0.5 * params.sink_boost);
+  EXPECT_GT(recent.mean(), middle.mean() + 0.5 * params.recency_boost);
+}
+
+TEST(Workload, InstanceSpreadVaries) {
+  // Fig. 3: dominant-token counts differ widely across instances.
+  wl::WorkloadParams params;
+  params.context_len = 1024;
+  wl::Generator gen(params);
+  Rng rng(4);
+  std::vector<double> dominant_counts;
+  for (int trial = 0; trial < 24; ++trial) {
+    const auto inst = gen.make_instance(rng);
+    // Count tokens with softmax probability above 1e-3.
+    double m = inst.target_scores[0];
+    for (double s : inst.target_scores) m = std::max(m, s);
+    double denom = 0.0;
+    for (double s : inst.target_scores) denom += std::exp(s - m);
+    int dominant = 0;
+    for (double s : inst.target_scores) {
+      if (std::exp(s - m) / denom > 1e-3) ++dominant;
+    }
+    dominant_counts.push_back(dominant);
+  }
+  const double lo = percentile(dominant_counts, 10.0);
+  const double hi = percentile(dominant_counts, 90.0);
+  EXPECT_GT(hi, 1.5 * lo) << "instance variability collapsed";
+  const double lo_min = percentile(dominant_counts, 0.0);
+  const double hi_max = percentile(dominant_counts, 100.0);
+  EXPECT_GT(hi_max, 2.0 * lo_min) << "instance variability collapsed";
+}
+
+TEST(Workload, ContextOverrideShortensInstance) {
+  wl::WorkloadParams params;
+  params.context_len = 512;
+  wl::Generator gen(params);
+  Rng rng(5);
+  const auto inst = gen.make_instance(rng, 100);
+  EXPECT_EQ(inst.len, 100u);
+}
+
+TEST(Workload, InvalidParamsThrow) {
+  wl::WorkloadParams params;
+  params.context_len = 0;
+  EXPECT_THROW(wl::Generator{params}, std::logic_error);
+}
+
+TEST(Zoo, HasEightEntriesWithPaperContexts) {
+  const auto zoo = wl::workload_zoo();
+  ASSERT_EQ(zoo.size(), 8u);
+  EXPECT_EQ(zoo[0].eval_context, 1024);  // GPT2
+  EXPECT_EQ(zoo[1].eval_context, 1024);
+  for (std::size_t i = 2; i < 8; ++i) EXPECT_EQ(zoo[i].eval_context, 2048);
+  for (const auto& entry : zoo) {
+    EXPECT_GT(entry.reference_ppl, 0.0);
+    EXPECT_EQ(entry.workload.head_dim, entry.model.head_dim());
+  }
+}
+
+TEST(Zoo, Gpt2MediumEntryForFig9) {
+  const auto entry = wl::gpt2_medium_entry();
+  EXPECT_EQ(entry.model.name, "GPT2-Medium");
+  EXPECT_EQ(entry.model.head_dim(), 64);
+}
+
+TEST(Traffic, KvFractionGrowsWithBatch) {
+  const auto config = zoo_config("GPT2-XL");
+  const auto b1 = an::generation_step_traffic(config, 1, 1024);
+  const auto b64 = an::generation_step_traffic(config, 64, 1024);
+  EXPECT_LT(b1.kv_fraction(), 0.15);
+  EXPECT_GT(b64.kv_fraction(), 0.80);
+  EXPECT_GT(b64.kv_fraction(), b1.kv_fraction());
+}
+
+TEST(Traffic, FractionsSumToOne) {
+  const auto config = zoo_config("OPT-6.7B");
+  const auto t = an::generation_step_traffic(config, 16, 2048);
+  EXPECT_NEAR(t.kv_fraction() + t.weight_fraction() + t.embedding_fraction(),
+              1.0, 1e-12);
+}
+
+TEST(Traffic, KvBytesLinearInBatch) {
+  const auto config = zoo_config("OPT-2.7B");
+  const auto b2 = an::generation_step_traffic(config, 2, 2048);
+  const auto b8 = an::generation_step_traffic(config, 8, 2048);
+  EXPECT_NEAR(b8.kv_bytes / b2.kv_bytes, 4.0, 1e-9);
+  EXPECT_NEAR(b8.weight_bytes, b2.weight_bytes, 1e-9);
+}
+
+TEST(Traffic, TwelveBitKvShrinksTraffic) {
+  const auto config = zoo_config("LLaMa-2-7B");
+  const auto fp16 = an::generation_step_traffic(config, 8, 4096, 16, 16);
+  const auto q12 = an::generation_step_traffic(config, 8, 4096, 16, 12);
+  EXPECT_NEAR(fp16.kv_bytes / q12.kv_bytes, 16.0 / 12.0, 1e-9);
+}
+
+TEST(Traffic, RejectsBadArguments) {
+  const auto config = zoo_config("GPT2-Large");
+  EXPECT_THROW(an::generation_step_traffic(config, 0, 1024), std::logic_error);
+  EXPECT_THROW(an::generation_step_traffic(config, 1, 99999), std::logic_error);
+}
+
+}  // namespace
+}  // namespace topick
