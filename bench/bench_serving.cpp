@@ -1,0 +1,133 @@
+// Serving-fleet benchmark: runs the continuous-batching ServeEngine over a
+// fixed Poisson trace under the exact backend and Token-Picker at the paper's
+// operating thresholds, and emits BENCH_serving.json — the perf trajectory
+// seed for the serving subsystem (tokens/s under the 1 GHz DRAM-cycle proxy,
+// bytes/token, p50/p95/p99 step latency, pool peak/reclaim counters).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "serve/serve_engine.h"
+#include "workload/arrivals.h"
+
+using namespace topick;
+
+namespace {
+
+struct BenchRow {
+  std::string name;
+  serve::FleetMetrics metrics;
+  std::size_t peak_pages = 0;
+  std::size_t pool_pages = 0;
+};
+
+BenchRow run_one(const std::string& name, serve::BackendKind backend,
+                 double threshold, bool reclaim,
+                 const std::vector<wl::ArrivalEvent>& trace) {
+  serve::ServeConfig config;
+  config.n_layer = 2;
+  config.n_head = 2;
+  config.head_dim = 64;
+  config.max_batch = 12;
+  config.pool_pages = 4096;
+  config.page_tokens = 8;
+  config.backend = backend;
+  config.picker.estimator.threshold = threshold;
+  config.persistence_window = 4;
+  config.reclaim = reclaim;
+  config.capture_outputs = false;
+
+  serve::ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+  return BenchRow{name, engine.metrics(), engine.pool().peak_pages_in_use(),
+                  config.pool_pages};
+}
+
+std::string json_escape_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  wl::ArrivalParams params;
+  params.rate = 0.8;
+  params.prompt_min = 16;
+  params.prompt_max = 80;
+  params.decode_min = 16;
+  params.decode_max = 48;
+  Rng rng(17);
+  const auto trace = wl::make_arrival_trace(params, 32, rng);
+
+  std::vector<BenchRow> rows;
+  rows.push_back(run_one("exact", serve::BackendKind::exact_quantized, 0.0,
+                         false, trace));
+  rows.push_back(run_one("topick_thr1e-3_noreclaim",
+                         serve::BackendKind::token_picker, 1e-3, false, trace));
+  rows.push_back(run_one("topick_thr1e-3", serve::BackendKind::token_picker,
+                         1e-3, true, trace));
+  rows.push_back(run_one("topick_thr4e-3", serve::BackendKind::token_picker,
+                         4e-3, true, trace));
+
+  TablePrinter table({"config", "tokens/s", "bytes/token", "p50", "p95", "p99",
+                      "KV red.", "peak pages", "reclaimed"});
+  for (const auto& row : rows) {
+    const auto& m = row.metrics;
+    table.add_row({row.name, TablePrinter::fmt(m.tokens_per_second(), 0),
+                   TablePrinter::fmt(m.bytes_per_token(), 0),
+                   TablePrinter::fmt(m.p50_step_cycles(), 0),
+                   TablePrinter::fmt(m.p95_step_cycles(), 0),
+                   TablePrinter::fmt(m.p99_step_cycles(), 0),
+                   TablePrinter::fmt_ratio(m.stats.total_reduction()),
+                   std::to_string(row.peak_pages),
+                   std::to_string(m.pages_reclaimed)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  FILE* out = std::fopen("BENCH_serving.json", "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open BENCH_serving.json for writing\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"serving\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"requests\": 32, \"arrivals\": \"poisson\", "
+               "\"rate\": 0.8, \"prompt\": [16, 80], \"decode\": [16, 48], "
+               "\"n_layer\": 2, \"n_head\": 2, \"head_dim\": 64, "
+               "\"max_batch\": 12, \"page_tokens\": 8},\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = rows[i].metrics;
+    std::fprintf(
+        out,
+        "    {\"config\": \"%s\", \"tokens_per_s\": %s, "
+        "\"bytes_per_token\": %s, \"p50_step_cycles\": %s, "
+        "\"p95_step_cycles\": %s, \"p99_step_cycles\": %s, "
+        "\"kv_traffic_reduction\": %s, \"pruning_ratio\": %s, "
+        "\"peak_pages\": %zu, \"pool_pages\": %zu, \"pages_reclaimed\": %llu, "
+        "\"pool_reuses\": %llu, \"preemptions\": %llu, "
+        "\"avg_fragmentation\": %s}%s\n",
+        rows[i].name.c_str(), json_escape_number(m.tokens_per_second()).c_str(),
+        json_escape_number(m.bytes_per_token()).c_str(),
+        json_escape_number(m.p50_step_cycles()).c_str(),
+        json_escape_number(m.p95_step_cycles()).c_str(),
+        json_escape_number(m.p99_step_cycles()).c_str(),
+        json_escape_number(m.stats.total_reduction()).c_str(),
+        json_escape_number(m.stats.pruning_ratio()).c_str(), rows[i].peak_pages,
+        rows[i].pool_pages,
+        static_cast<unsigned long long>(m.pages_reclaimed),
+        static_cast<unsigned long long>(m.pool_reuses),
+        static_cast<unsigned long long>(m.preemptions),
+        json_escape_number(m.avg_fragmentation).c_str(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_serving.json\n");
+  return 0;
+}

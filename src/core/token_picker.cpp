@@ -9,6 +9,27 @@
 
 namespace topick {
 
+PrunePersistence::PrunePersistence(int window) : window_(window) {
+  require(window > 0, "PrunePersistence: window must be positive");
+}
+
+void PrunePersistence::observe(std::size_t token, bool kept) {
+  if (token >= streaks_.size()) streaks_.resize(token + 1, 0);
+  streaks_[token] = kept ? 0 : streaks_[token] + 1;
+}
+
+bool PrunePersistence::persistent(std::size_t token) const {
+  return streak(token) >= window_;
+}
+
+int PrunePersistence::streak(std::size_t token) const {
+  return token < streaks_.size() ? streaks_[token] : 0;
+}
+
+void PrunePersistence::forget(std::size_t token) {
+  if (token < streaks_.size()) streaks_[token] = 0;
+}
+
 TokenPickerAttention::TokenPickerAttention(const TokenPickerConfig& config)
     : config_(config),
       estimator_(config.estimator),

@@ -54,6 +54,33 @@ struct TokenPickerResult {
   double oracle_dropped_mass = 0.0;
 };
 
+// Tracks how many consecutive queries each token has been pruned for, across
+// the decode steps of one sequence. A token whose streak reaches `window` is
+// "persistently pruned": the paper's estimator guarantees its probability
+// stayed below threshold for that many queries, so a serving layer can
+// reclaim its KV storage — turning skipped reads into freed DRAM residency.
+// Tokens are identified by stable (global) ids so the tracker survives view
+// compaction after reclamation.
+class PrunePersistence {
+ public:
+  explicit PrunePersistence(int window = 4);
+
+  // Records one attention instance's verdict for a token. A kept token's
+  // streak resets to zero; a pruned token's streak grows by one.
+  void observe(std::size_t token, bool kept);
+
+  bool persistent(std::size_t token) const;
+  int streak(std::size_t token) const;
+  // Drops tracker state for a token whose storage has been reclaimed.
+  void forget(std::size_t token);
+
+  int window() const { return window_; }
+
+ private:
+  int window_;
+  std::vector<int> streaks_;  // indexed by token id, grown on demand
+};
+
 class TokenPickerAttention {
  public:
   explicit TokenPickerAttention(const TokenPickerConfig& config);

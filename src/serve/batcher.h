@@ -1,0 +1,71 @@
+// Continuous batching: requests join and leave the running set per decode
+// step (no batch barriers), bounded by slots and by pool pages.
+//
+// Policy (vLLM-style):
+//   * admission is FIFO with head-of-line blocking — the front request admits
+//     only when the pool has every page its (re)prefill needs;
+//   * under pool pressure mid-decode, the most recently admitted running
+//     request is preempted (recompute-on-resume), freeing all its pages, and
+//     re-enters the queue at the front.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace topick::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 16;  // concurrent decode slots
+};
+
+class ContinuousBatcher {
+ public:
+  explicit ContinuousBatcher(const BatcherConfig& config) : config_(config) {}
+
+  RequestQueue& queue() { return queue_; }
+  const RequestQueue& queue() const { return queue_; }
+
+  // Running requests in admission order (decode iterates this order).
+  const std::vector<std::size_t>& running() const { return running_; }
+  bool has_slot() const { return running_.size() < config_.max_batch; }
+
+  void admit(std::size_t request) { running_.push_back(request); }
+  void retire(std::size_t request) { erase(request); }
+
+  // Preemption victim: the most recently admitted running request other than
+  // `exclude`. Returns false when no other request is running.
+  bool choose_victim(std::size_t exclude, std::size_t* victim) const {
+    for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+      if (*it != exclude) {
+        *victim = *it;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void preempt(std::size_t request) {
+    erase(request);
+    queue_.push_preempted(request);
+  }
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  void erase(std::size_t request) {
+    for (auto it = running_.begin(); it != running_.end(); ++it) {
+      if (*it == request) {
+        running_.erase(it);
+        return;
+      }
+    }
+  }
+
+  BatcherConfig config_;
+  RequestQueue queue_;
+  std::vector<std::size_t> running_;
+};
+
+}  // namespace topick::serve

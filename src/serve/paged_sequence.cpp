@@ -1,0 +1,155 @@
+#include "serve/paged_sequence.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace topick::serve {
+
+PagedSequence::PagedSequence(PagedKvPool* pool) : pool_(pool) {
+  require(pool != nullptr, "PagedSequence: null pool");
+}
+
+PagedSequence::~PagedSequence() { release_all(); }
+
+PagedSequence::PagedSequence(PagedSequence&& other) noexcept
+    : pool_(other.pool_),
+      pages_(std::move(other.pages_)),
+      page_live_(std::move(other.page_live_)),
+      live_(std::move(other.live_)),
+      appended_(other.appended_),
+      live_count_(other.live_count_),
+      pages_held_(other.pages_held_) {
+  other.pages_.clear();
+  other.page_live_.clear();
+  other.live_.clear();
+  other.appended_ = 0;
+  other.live_count_ = 0;
+  other.pages_held_ = 0;
+}
+
+bool PagedSequence::append(std::span<const float> k, std::span<const float> v) {
+  const std::size_t dim = pool_->config().head_dim;
+  require(k.size() == dim && v.size() == dim,
+          "PagedSequence::append: head_dim mismatch");
+  const std::size_t page_tokens = pool_->config().page_tokens;
+  const std::size_t logical = appended_ / page_tokens;
+  const std::size_t slot = appended_ % page_tokens;
+
+  if (slot == 0) {
+    const auto page = pool_->alloc_page();
+    if (page == PagedKvPool::kInvalidPage) return false;
+    pages_.push_back(page);
+    page_live_.push_back(0);
+    ++pages_held_;
+  }
+  // The tail page is never reclaimed while partially filled, so it is valid.
+  const auto page = pages_[logical];
+  std::copy(k.begin(), k.end(), pool_->key_page(page) + slot * dim);
+  std::copy(v.begin(), v.end(), pool_->value_page(page) + slot * dim);
+  live_.push_back(true);
+  ++page_live_[logical];
+  ++appended_;
+  ++live_count_;
+  return true;
+}
+
+void PagedSequence::mark_dead(std::size_t token_id) {
+  require(token_id < appended_, "PagedSequence: token id out of range");
+  if (!live_[token_id]) return;
+  live_[token_id] = false;
+  --live_count_;
+  --page_live_[token_id / pool_->config().page_tokens];
+}
+
+std::size_t PagedSequence::sweep() {
+  const std::size_t page_tokens = pool_->config().page_tokens;
+  // Logical pages strictly before this one are full.
+  const std::size_t full_pages = appended_ / page_tokens;
+  std::size_t freed = 0;
+  for (std::size_t p = 0; p < std::min(full_pages, pages_.size()); ++p) {
+    if (pages_[p] != PagedKvPool::kInvalidPage && page_live_[p] == 0) {
+      pool_->free_page(pages_[p]);
+      pages_[p] = PagedKvPool::kInvalidPage;
+      --pages_held_;
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+bool PagedSequence::live(std::size_t token_id) const {
+  return token_id < appended_ && live_[token_id];
+}
+
+PagedHeadView PagedSequence::view(
+    std::vector<std::size_t>* token_ids_out) const {
+  const std::size_t page_tokens = pool_->config().page_tokens;
+  PagedHeadView view;
+  view.head_dim = pool_->config().head_dim;
+  view.page_tokens = page_tokens;
+  if (token_ids_out) token_ids_out->clear();
+
+  // View page table holds only pages still owned; view_page[p] maps a held
+  // logical page to its index there.
+  std::vector<std::size_t> view_page(pages_.size());
+  for (std::size_t p = 0; p < pages_.size(); ++p) {
+    if (pages_[p] == PagedKvPool::kInvalidPage) continue;
+    view_page[p] = view.key_pages.size();
+    view.key_pages.push_back(pool_->key_page(pages_[p]));
+    view.value_pages.push_back(pool_->value_page(pages_[p]));
+  }
+  view.slots.reserve(live_count_);
+  for (std::size_t t = 0; t < appended_; ++t) {
+    if (!live_[t]) continue;
+    const std::size_t logical = t / page_tokens;
+    view.slots.push_back(view_page[logical] * page_tokens + t % page_tokens);
+    if (token_ids_out) token_ids_out->push_back(t);
+  }
+  return view;
+}
+
+void PagedSequence::release_all() {
+  for (const auto page : pages_) {
+    if (page != PagedKvPool::kInvalidPage) pool_->free_page(page);
+  }
+  pages_.clear();
+  page_live_.clear();
+  live_.clear();
+  appended_ = 0;
+  live_count_ = 0;
+  pages_held_ = 0;
+}
+
+PagedKvCache::PagedKvCache(PagedKvPool* pool, int n_layer, int n_head)
+    : pool_(pool), n_layer_(n_layer), n_head_(n_head) {
+  require(n_layer > 0 && n_head > 0, "PagedKvCache: bad shape");
+  seqs_.reserve(static_cast<std::size_t>(n_layer) * n_head);
+  for (int i = 0; i < n_layer * n_head; ++i) seqs_.emplace_back(pool);
+}
+
+std::size_t PagedKvCache::pages_held() const {
+  std::size_t total = 0;
+  for (const auto& s : seqs_) total += s.pages_held();
+  return total;
+}
+
+std::size_t PagedKvCache::live_tokens() const {
+  std::size_t total = 0;
+  for (const auto& s : seqs_) total += s.live_tokens();
+  return total;
+}
+
+double PagedKvCache::fragmentation() const {
+  const std::size_t allocated_slots =
+      pages_held() * pool_->config().page_tokens;
+  if (allocated_slots == 0) return 0.0;
+  return 1.0 - static_cast<double>(live_tokens()) /
+                   static_cast<double>(allocated_slots);
+}
+
+void PagedKvCache::release_all() {
+  for (auto& s : seqs_) s.release_all();
+}
+
+}  // namespace topick::serve

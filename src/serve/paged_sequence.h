@@ -1,0 +1,96 @@
+// One head's growing token stream stored on pool pages, plus the per-request
+// bundle of sequences (PagedKvCache) — the paged counterpart of
+// model/kv_cache.h's contiguous per-(layer, head) slabs.
+//
+// Tokens keep their stable chronological id for life; pruning marks them dead
+// in place (no compaction inside pages), and a *full* page whose live count
+// hits zero is returned to the pool. Views expose only live tokens, in
+// chronological order, through model/kv_cache.h's PagedHeadView.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/kv_cache.h"
+#include "serve/paged_kv_pool.h"
+
+namespace topick::serve {
+
+class PagedSequence {
+ public:
+  explicit PagedSequence(PagedKvPool* pool);
+  ~PagedSequence();
+
+  PagedSequence(const PagedSequence&) = delete;
+  PagedSequence& operator=(const PagedSequence&) = delete;
+  PagedSequence(PagedSequence&& other) noexcept;
+  PagedSequence& operator=(PagedSequence&&) = delete;
+
+  // Appends one token (stable id = appended_tokens() before the call).
+  // Returns false, changing nothing, when the pool can't supply a page.
+  bool append(std::span<const float> k, std::span<const float> v);
+
+  // Marks a token dead (persistently pruned). Storage is reclaimed by
+  // sweep(), which frees every *full* page with no live tokens left; the
+  // partially-filled tail page is never freed (appends still land there).
+  void mark_dead(std::size_t token_id);
+  // Returns the number of pages returned to the pool.
+  std::size_t sweep();
+
+  bool live(std::size_t token_id) const;
+  std::size_t appended_tokens() const { return appended_; }
+  std::size_t live_tokens() const { return live_count_; }
+  std::size_t pages_held() const { return pages_held_; }
+
+  // View over live tokens, chronological. When token_ids_out is non-null it
+  // receives the stable id of each view position (the map attention decisions
+  // come back through).
+  PagedHeadView view(std::vector<std::size_t>* token_ids_out = nullptr) const;
+
+  // Frees every page (request retired or preempted). The sequence resets to
+  // empty and may be appended to again (preemption-recompute).
+  void release_all();
+
+ private:
+  PagedKvPool* pool_;
+  // Logical page p holds token ids [p*page_tokens, (p+1)*page_tokens); a
+  // reclaimed logical page keeps its slot with kInvalidPage.
+  std::vector<PagedKvPool::PageId> pages_;
+  std::vector<int> page_live_;  // live tokens per logical page
+  std::vector<bool> live_;      // per token id
+  std::size_t appended_ = 0;
+  std::size_t live_count_ = 0;
+  std::size_t pages_held_ = 0;
+};
+
+// Per-request paged KV storage: n_layer * n_head independent sequences.
+class PagedKvCache {
+ public:
+  PagedKvCache(PagedKvPool* pool, int n_layer, int n_head);
+
+  PagedSequence& seq(int layer, int head) {
+    return seqs_[static_cast<std::size_t>(layer) * n_head_ + head];
+  }
+  const PagedSequence& seq(int layer, int head) const {
+    return seqs_[static_cast<std::size_t>(layer) * n_head_ + head];
+  }
+
+  int n_layer() const { return n_layer_; }
+  int n_head() const { return n_head_; }
+
+  std::size_t pages_held() const;
+  std::size_t live_tokens() const;
+  // Dead-but-unreclaimed slots over allocated slots (internal fragmentation).
+  double fragmentation() const;
+
+  void release_all();
+
+ private:
+  PagedKvPool* pool_;
+  int n_layer_;
+  int n_head_;
+  std::vector<PagedSequence> seqs_;
+};
+
+}  // namespace topick::serve

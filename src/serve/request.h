@@ -1,0 +1,61 @@
+// Request lifecycle types for the continuous-batching runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/access_stats.h"
+#include "workload/arrivals.h"
+#include "workload/decode_stream.h"
+
+namespace topick::serve {
+
+enum class RequestState { queued, running, preempted, finished };
+
+// Captured per decode step when ServeConfig::capture_outputs is set — the
+// evidence the acceptance test checks against shadow exact attention.
+struct StepOutput {
+  std::size_t position = 0;  // query token index (== context len - 1)
+  // Per (layer, head), layer-major: attention output and the stable token ids
+  // visible / kept at this step.
+  std::vector<std::vector<float>> out;
+  std::vector<std::vector<std::size_t>> view_tokens;
+  std::vector<std::vector<std::size_t>> kept_tokens;
+};
+
+struct Request {
+  wl::ArrivalEvent event;
+  wl::DecodeStream stream;
+  RequestState state = RequestState::queued;
+
+  std::size_t generated = 0;  // decode steps completed
+  std::size_t admit_step = 0;
+  std::size_t finish_step = 0;
+  int preemptions = 0;
+
+  AccessStats stats;
+  std::uint64_t dram_cycles = 0;  // summed per-step latency proxy
+  std::vector<StepOutput> outputs;
+
+  bool done() const { return generated >= event.decode_len; }
+};
+
+// FIFO admission queue; preempted requests re-enter at the front so they
+// regain their pages before new arrivals claim them.
+class RequestQueue {
+ public:
+  void push_arrival(std::size_t request) { queue_.push_back(request); }
+  void push_preempted(std::size_t request) { queue_.push_front(request); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  std::size_t front() const { return queue_.front(); }
+  void pop() { queue_.pop_front(); }
+
+ private:
+  std::deque<std::size_t> queue_;
+};
+
+}  // namespace topick::serve

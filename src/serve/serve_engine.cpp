@@ -1,0 +1,404 @@
+#include "serve/serve_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "common/stats.h"
+#include "core/attention_backends.h"
+#include "core/exact_attention.h"
+
+namespace topick::serve {
+
+namespace {
+
+// Each request streams from its own 64 MiB address region, so concurrent
+// requests hit different rows/banks like distinct cache slabs would.
+std::uint64_t region_base(std::size_t request) {
+  return (static_cast<std::uint64_t>(request) + 1) << 26;
+}
+
+}  // namespace
+
+struct ServeEngine::Slot {
+  Slot(PagedKvPool* pool, const ServeConfig& config)
+      : cache(pool, config.n_layer, config.n_head) {
+    persistence.reserve(
+        static_cast<std::size_t>(config.n_layer) * config.n_head);
+    for (int i = 0; i < config.n_layer * config.n_head; ++i) {
+      persistence.emplace_back(config.persistence_window);
+    }
+  }
+
+  PagedKvCache cache;
+  std::vector<PrunePersistence> persistence;  // per (layer, head), layer-major
+  std::unique_ptr<SpAttenBackend> spatten;
+};
+
+double FleetMetrics::p50_step_cycles() const {
+  return step_cycle_samples.empty() ? 0.0
+                                    : percentile(step_cycle_samples, 50.0);
+}
+double FleetMetrics::p95_step_cycles() const {
+  return step_cycle_samples.empty() ? 0.0
+                                    : percentile(step_cycle_samples, 95.0);
+}
+double FleetMetrics::p99_step_cycles() const {
+  return step_cycle_samples.empty() ? 0.0
+                                    : percentile(step_cycle_samples, 99.0);
+}
+
+double FleetMetrics::tokens_per_second(double dram_clock_hz) const {
+  if (dram_cycles == 0) return 0.0;
+  return static_cast<double>(tokens_generated) /
+         (static_cast<double>(dram_cycles) / dram_clock_hz);
+}
+
+double FleetMetrics::bytes_per_token() const {
+  if (tokens_generated == 0) return 0.0;
+  return static_cast<double>(stats.total_bits_fetched()) / 8.0 /
+         static_cast<double>(tokens_generated);
+}
+
+ServeEngine::ServeEngine(const ServeConfig& config)
+    : config_(config),
+      pool_(PagedPoolConfig{config.pool_pages, config.page_tokens,
+                            static_cast<std::size_t>(config.head_dim)}),
+      batcher_(BatcherConfig{config.max_batch}),
+      picker_(config.picker),
+      hbm_(config.dram) {
+  require(config.n_layer > 0 && config.n_head > 0 && config.head_dim > 0,
+          "ServeConfig: bad shape");
+  config_.stream.head_dim = config.head_dim;
+}
+
+ServeEngine::~ServeEngine() = default;
+
+void ServeEngine::submit(const wl::ArrivalEvent& event) {
+  require(requests_.empty() || event.step >= requests_.back().event.step,
+          "ServeEngine::submit: arrivals must be in step order");
+  Request request;
+  request.event = event;
+  request.stream =
+      wl::make_decode_stream(config_.stream, event.prompt_len,
+                             event.decode_len, config_.n_layer, config_.n_head,
+                             event.stream_seed);
+  requests_.push_back(std::move(request));
+  slots_.emplace_back(nullptr);
+  dram_offset_.push_back(0);
+  ++metrics_.requests_submitted;
+}
+
+void ServeEngine::submit_trace(const std::vector<wl::ArrivalEvent>& trace) {
+  for (const auto& event : trace) submit(event);
+}
+
+std::size_t ServeEngine::pages_for_prefill(const Request& request) const {
+  // Tokens the (re)prefill appends, plus one decode token of headroom so the
+  // admission itself can always take its first step.
+  const std::size_t tokens =
+      request.event.prompt_len + request.generated + 1;
+  const std::size_t pages_per_head =
+      (tokens + config_.page_tokens - 1) / config_.page_tokens;
+  return pages_per_head * static_cast<std::size_t>(config_.n_layer) *
+         config_.n_head;
+}
+
+void ServeEngine::admit_due_requests() {
+  while (next_arrival_ < requests_.size() &&
+         requests_[next_arrival_].event.step <= now_) {
+    batcher_.queue().push_arrival(next_arrival_);
+    ++next_arrival_;
+  }
+  while (!batcher_.queue().empty() && batcher_.has_slot()) {
+    const std::size_t request = batcher_.queue().front();
+    if (pool_.pages_free() < pages_for_prefill(requests_[request])) {
+      // With an idle, fully-free pool this request can never fit — a config
+      // error, not transient pressure.
+      require(!batcher_.running().empty() ||
+                  pool_.pages_free() < pool_.pages_total(),
+              "ServeEngine: request prefill exceeds total pool pages");
+      break;
+    }
+    batcher_.queue().pop();
+    prefill(request);
+    batcher_.admit(request);
+  }
+}
+
+void ServeEngine::prefill(std::size_t request) {
+  Request& req = requests_[request];
+  auto slot = std::make_unique<Slot>(&pool_, config_);
+  if (config_.backend == BackendKind::spatten) {
+    slot->spatten = std::make_unique<SpAttenBackend>(
+        config_.spatten, config_.n_layer, config_.n_head,
+        req.stream.total_tokens());
+    slot->spatten->begin_sequence();
+  }
+  // Preempted requests recompute: prompt plus every already-generated token
+  // re-enters the pool (their K/V replay bit-identically from the stream).
+  const std::size_t tokens = req.event.prompt_len + req.generated;
+  for (int layer = 0; layer < config_.n_layer; ++layer) {
+    for (int head = 0; head < config_.n_head; ++head) {
+      auto& seq = slot->cache.seq(layer, head);
+      for (std::size_t t = 0; t < tokens; ++t) {
+        const bool ok = seq.append(req.stream.key(layer, head, t),
+                                   req.stream.value(layer, head, t));
+        require(ok, "ServeEngine: prefill append failed despite page check");
+      }
+    }
+  }
+  if (req.state == RequestState::queued) req.admit_step = now_;
+  req.state = RequestState::running;
+  slots_[request] = std::move(slot);
+}
+
+void ServeEngine::preempt_for_pressure(std::size_t needy) {
+  std::size_t victim = 0;
+  const bool found = batcher_.choose_victim(needy, &victim);
+  require(found,
+          "ServeEngine: pool exhausted with a single running request — "
+          "pool_pages too small for the workload");
+  Request& req = requests_[victim];
+  slots_[victim]->cache.release_all();
+  slots_[victim].reset();
+  req.state = RequestState::preempted;
+  ++req.preemptions;
+  ++metrics_.preemptions;
+  batcher_.preempt(victim);
+}
+
+bool ServeEngine::ensure_append_pages(std::size_t request) {
+  // Pages the next token's appends will open (one per sequence sitting at a
+  // page boundary). Preempt until they fit; the needy request itself is never
+  // chosen, so progress is guaranteed once it is the only one running.
+  auto& slot = *slots_[request];
+  std::size_t needed = 0;
+  for (int layer = 0; layer < config_.n_layer; ++layer) {
+    for (int head = 0; head < config_.n_head; ++head) {
+      if (slot.cache.seq(layer, head).appended_tokens() %
+              config_.page_tokens ==
+          0) {
+        ++needed;
+      }
+    }
+  }
+  while (pool_.pages_free() < needed) preempt_for_pressure(request);
+  return true;
+}
+
+void ServeEngine::decode_one(std::size_t request,
+                             std::vector<std::uint64_t>* step_bits) {
+  Request& req = requests_[request];
+  Slot& slot = *slots_[request];
+  const std::size_t pos = req.event.prompt_len + req.generated;
+  const auto dim = static_cast<std::size_t>(config_.head_dim);
+
+  ensure_append_pages(request);
+
+  StepOutput record;
+  if (config_.capture_outputs) {
+    record.position = pos;
+    const auto n_inst =
+        static_cast<std::size_t>(config_.n_layer) * config_.n_head;
+    record.out.resize(n_inst);
+    record.view_tokens.resize(n_inst);
+    record.kept_tokens.resize(n_inst);
+  }
+
+  std::uint64_t bits = 0;
+  for (int layer = 0; layer < config_.n_layer; ++layer) {
+    for (int head = 0; head < config_.n_head; ++head) {
+      const auto inst = static_cast<std::size_t>(layer) * config_.n_head + head;
+      auto& seq = slot.cache.seq(layer, head);
+      {
+        const bool ok = seq.append(req.stream.key(layer, head, pos),
+                                   req.stream.value(layer, head, pos));
+        require(ok, "ServeEngine: decode append failed despite page check");
+      }
+
+      const auto paged = seq.view(&token_ids_);
+      const KvHeadView view = paged.gather(key_scratch_, value_scratch_);
+      const auto q = req.stream.query(layer, head, req.generated);
+
+      AccessStats inst_stats;
+      std::vector<float> out;
+      std::vector<std::size_t> kept_ids;
+
+      switch (config_.backend) {
+        case BackendKind::token_picker: {
+          auto result = picker_.attend(q, view);
+          inst_stats = result.stats;
+          out = std::move(result.output);
+          auto& persistence = slot.persistence[inst];
+          for (const auto& decision : result.decisions) {
+            const std::size_t global = token_ids_[decision.token];
+            persistence.observe(global, decision.kept);
+            if (decision.kept) kept_ids.push_back(global);
+          }
+          if (config_.reclaim) {
+            for (const std::size_t global : token_ids_) {
+              if (persistence.persistent(global)) {
+                seq.mark_dead(global);
+                persistence.forget(global);
+              }
+            }
+            metrics_.pages_reclaimed += seq.sweep();
+          }
+          break;
+        }
+        case BackendKind::exact_quantized: {
+          auto result =
+              exact_attention_quantized(q, view, config_.picker.quant);
+          out.assign(result.output.begin(), result.output.end());
+          const auto full_bits = static_cast<std::uint64_t>(view.len) * dim *
+                                 config_.picker.quant.total_bits;
+          inst_stats.k_bits_fetched = inst_stats.k_bits_baseline = full_bits;
+          inst_stats.v_bits_fetched = inst_stats.v_bits_baseline = full_bits;
+          inst_stats.tokens_total = inst_stats.tokens_kept = view.len;
+          kept_ids = token_ids_;
+          break;
+        }
+        case BackendKind::spatten: {
+          out.assign(dim, 0.0f);
+          AttentionContext ctx;
+          ctx.layer = layer;
+          ctx.head = head;
+          ctx.position = static_cast<int>(pos);
+          const AccessStats before = slot.spatten->stats();
+          slot.spatten->attend(q, view, out, ctx);
+          AccessStats after = slot.spatten->stats();
+          inst_stats.k_bits_fetched =
+              after.k_bits_fetched - before.k_bits_fetched;
+          inst_stats.v_bits_fetched =
+              after.v_bits_fetched - before.v_bits_fetched;
+          inst_stats.k_bits_baseline =
+              after.k_bits_baseline - before.k_bits_baseline;
+          inst_stats.v_bits_baseline =
+              after.v_bits_baseline - before.v_bits_baseline;
+          inst_stats.tokens_total = after.tokens_total - before.tokens_total;
+          inst_stats.tokens_kept = after.tokens_kept - before.tokens_kept;
+          break;
+        }
+      }
+
+      bits += inst_stats.k_bits_fetched + inst_stats.v_bits_fetched;
+      req.stats.merge(inst_stats);
+      metrics_.stats.merge(inst_stats);
+
+      if (config_.capture_outputs) {
+        record.out[inst] = std::move(out);
+        record.view_tokens[inst] = token_ids_;
+        record.kept_tokens[inst] = std::move(kept_ids);
+      }
+    }
+  }
+
+  if (config_.capture_outputs) req.outputs.push_back(std::move(record));
+  (*step_bits)[request] = bits;
+  ++req.generated;
+  ++metrics_.tokens_generated;
+
+  if (req.done()) retire(request);
+}
+
+void ServeEngine::retire(std::size_t request) {
+  Request& req = requests_[request];
+  slots_[request]->cache.release_all();
+  slots_[request].reset();
+  req.state = RequestState::finished;
+  req.finish_step = now_;
+  batcher_.retire(request);
+  ++finished_;
+  ++metrics_.requests_retired;
+}
+
+void ServeEngine::simulate_step_dram(
+    const std::vector<std::uint64_t>& step_bits,
+    const std::vector<std::size_t>& decoded) {
+  const std::uint64_t start = hbm_.cycle();
+  const auto granule =
+      static_cast<std::uint64_t>(config_.dram.transaction_bytes);
+
+  std::vector<std::uint64_t> remaining(decoded.size());
+  std::vector<std::uint64_t> finish(decoded.size(), start);
+  std::uint64_t total_remaining = 0;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    const std::uint64_t bytes = (step_bits[decoded[i]] + 7) / 8;
+    remaining[i] = (bytes + granule - 1) / granule;
+    total_remaining += remaining[i];
+  }
+
+  while (total_remaining > 0 || hbm_.pending() > 0) {
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      if (remaining[i] == 0) continue;
+      const std::size_t request = decoded[i];
+      mem::MemRequest mreq;
+      mreq.addr = region_base(request) + dram_offset_[request] * granule;
+      mreq.id = i;
+      if (hbm_.try_enqueue(mreq)) {
+        --remaining[i];
+        --total_remaining;
+        ++dram_offset_[request];
+      }
+    }
+    hbm_.tick();
+    for (const auto& resp : hbm_.drain_responses()) {
+      finish[resp.id] = std::max(finish[resp.id], resp.ready_cycle);
+    }
+  }
+
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    const auto cycles = finish[i] - start;
+    requests_[decoded[i]].dram_cycles += cycles;
+    metrics_.step_cycle_samples.push_back(static_cast<double>(cycles));
+  }
+  metrics_.dram_cycles = hbm_.cycle();
+}
+
+bool ServeEngine::step() {
+  if (finished_ >= requests_.size()) return false;
+
+  admit_due_requests();
+
+  // Decode over a snapshot: preemption mutates the running list mid-loop.
+  const std::vector<std::size_t> schedule = batcher_.running();
+  std::vector<std::uint64_t> step_bits(requests_.size(), 0);
+  std::vector<std::size_t> decoded;
+  for (const std::size_t request : schedule) {
+    if (requests_[request].state != RequestState::running) continue;
+    decode_one(request, &step_bits);
+    decoded.push_back(request);
+  }
+
+  if (config_.simulate_dram && !decoded.empty()) {
+    simulate_step_dram(step_bits, decoded);
+  }
+
+  // Fragmentation sample over live slots (running requests only).
+  std::size_t pages = 0;
+  std::size_t live = 0;
+  for (const std::size_t request : batcher_.running()) {
+    pages += slots_[request]->cache.pages_held();
+    live += slots_[request]->cache.live_tokens();
+  }
+  if (pages > 0) {
+    fragmentation_sum_ +=
+        1.0 - static_cast<double>(live) /
+                  static_cast<double>(pages * config_.page_tokens);
+    ++fragmentation_samples_;
+    metrics_.avg_fragmentation = fragmentation_sum_ / fragmentation_samples_;
+  }
+
+  metrics_.pool_peak_pages = pool_.peak_pages_in_use();
+  metrics_.pool_reuses = pool_.reuses();
+  ++metrics_.engine_steps;
+  ++now_;
+  return finished_ < requests_.size();
+}
+
+void ServeEngine::run() {
+  while (finished_ < requests_.size()) step();
+}
+
+}  // namespace topick::serve

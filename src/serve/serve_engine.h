@@ -1,0 +1,148 @@
+// ServeEngine: the multi-tenant decode loop tying the subsystem together.
+//
+// Each engine step: (1) admit due arrivals while slots and pool pages allow;
+// (2) for every running request, append the step's K/V through the paged
+// pool (preempting the youngest request under pool pressure) and run one
+// attention instance per (layer, head) through the configured backend —
+// exact quantized, Token-Picker, or SpAtten; (3) feed Token-Picker's
+// per-token verdicts into PrunePersistence and reclaim fully-dead pages;
+// (4) replay the step's DRAM traffic through the memsim HBM model for a
+// per-request latency proxy in DRAM cycles; (5) retire finished requests.
+//
+// The engine is deterministic: request streams are pure functions of their
+// arrival events, so preemption-recompute and the test's shadow exact
+// references replay exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/spatten.h"
+#include "core/token_picker.h"
+#include "memsim/hbm.h"
+#include "serve/batcher.h"
+#include "serve/paged_kv_pool.h"
+#include "serve/paged_sequence.h"
+#include "serve/request.h"
+#include "workload/arrivals.h"
+#include "workload/decode_stream.h"
+
+namespace topick::serve {
+
+enum class BackendKind { exact_quantized, token_picker, spatten };
+
+struct ServeConfig {
+  int n_layer = 1;
+  int n_head = 2;
+  int head_dim = 32;
+
+  std::size_t max_batch = 16;
+  std::size_t pool_pages = 1024;
+  std::size_t page_tokens = 8;
+
+  BackendKind backend = BackendKind::token_picker;
+  TokenPickerConfig picker;
+  SpAttenConfig spatten;
+  wl::DecodeStreamParams stream;  // head_dim is overridden from above
+
+  // Consecutive pruned queries before a token's storage may be reclaimed.
+  int persistence_window = 4;
+  bool reclaim = true;
+
+  // Record per-step outputs and token sets (memory ~ tokens; tests only).
+  bool capture_outputs = false;
+
+  // Replay per-step traffic through memsim for the latency proxy. Off, the
+  // engine still accounts bits but reports no cycle numbers (faster benches).
+  bool simulate_dram = true;
+  mem::DramConfig dram;
+};
+
+struct FleetMetrics {
+  std::size_t requests_submitted = 0;
+  std::size_t requests_retired = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t tokens_generated = 0;
+  std::uint64_t engine_steps = 0;
+
+  AccessStats stats;  // decode attention traffic, fleet-wide
+
+  // Latency proxy: DRAM cycles to serve one request's one decode step (all
+  // its layers/heads), under contention from the co-scheduled batch.
+  std::vector<double> step_cycle_samples;
+  std::uint64_t dram_cycles = 0;  // total simulated DRAM clock
+
+  std::size_t pool_peak_pages = 0;
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t pages_reclaimed = 0;  // freed by pruning (not retirement)
+  double avg_fragmentation = 0.0;  // dead-but-unreclaimed slot fraction
+
+  double p50_step_cycles() const;
+  double p95_step_cycles() const;
+  double p99_step_cycles() const;
+  // Generation throughput under the memory-bound proxy (1 GHz DRAM clock).
+  double tokens_per_second(double dram_clock_hz = 1e9) const;
+  double bytes_per_token() const;
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(const ServeConfig& config);
+  ~ServeEngine();
+
+  // Builds the request's synthetic stream from the event and registers it.
+  // Events must be submitted in nondecreasing arrival-step order.
+  void submit(const wl::ArrivalEvent& event);
+  void submit_trace(const std::vector<wl::ArrivalEvent>& trace);
+
+  // Advances one engine step. Returns false once every submitted request has
+  // finished (and the step performed no work).
+  bool step();
+  // Runs until all submitted requests retire.
+  void run();
+
+  std::size_t now() const { return now_; }
+  const std::vector<Request>& requests() const { return requests_; }
+  const PagedKvPool& pool() const { return pool_; }
+  const ContinuousBatcher& batcher() const { return batcher_; }
+  const FleetMetrics& metrics() const { return metrics_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Slot;  // per-running-request paged cache + pruning state
+
+  std::size_t pages_for_prefill(const Request& request) const;
+  void admit_due_requests();
+  bool ensure_append_pages(std::size_t request);
+  void prefill(std::size_t request);
+  void decode_one(std::size_t request, std::vector<std::uint64_t>* step_bits);
+  void preempt_for_pressure(std::size_t needy);
+  void retire(std::size_t request);
+  void simulate_step_dram(const std::vector<std::uint64_t>& step_bits,
+                          const std::vector<std::size_t>& decoded);
+
+  ServeConfig config_;
+  PagedKvPool pool_;
+  ContinuousBatcher batcher_;
+  TokenPickerAttention picker_;
+  mem::Hbm hbm_;
+
+  std::vector<Request> requests_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::size_t next_arrival_ = 0;  // index into requests_ by arrival order
+  std::size_t now_ = 0;
+  std::size_t finished_ = 0;
+  std::vector<std::uint64_t> dram_offset_;  // per request, streaming address
+
+  FleetMetrics metrics_;
+  double fragmentation_sum_ = 0.0;
+  std::size_t fragmentation_samples_ = 0;
+
+  // Gather scratch reused across instances.
+  std::vector<float> key_scratch_, value_scratch_;
+  std::vector<std::size_t> token_ids_;
+};
+
+}  // namespace topick::serve

@@ -1,0 +1,67 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace topick::wl {
+namespace {
+
+// Knuth's Poisson sampler; rates here are O(1) per step so the O(lambda)
+// rejection loop is fine.
+std::size_t poisson_sample(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::size_t uniform_len(Rng& rng, std::size_t lo, std::size_t hi) {
+  require(lo > 0 && lo <= hi, "ArrivalParams: bad length range");
+  return lo + static_cast<std::size_t>(rng.uniform_index(hi - lo + 1));
+}
+
+}  // namespace
+
+std::vector<ArrivalEvent> make_arrival_trace(const ArrivalParams& params,
+                                             std::size_t num_requests,
+                                             Rng& rng) {
+  require(params.rate > 0.0, "ArrivalParams: rate must be positive");
+  std::vector<ArrivalEvent> trace;
+  trace.reserve(num_requests);
+
+  bool in_burst = false;
+  std::size_t step = 0;
+  while (trace.size() < num_requests) {
+    double rate = params.rate;
+    if (params.kind == ArrivalKind::bursty) {
+      if (in_burst) {
+        rate *= params.burst_factor;
+        if (rng.bernoulli(params.burst_stop_prob)) in_burst = false;
+      } else if (rng.bernoulli(params.burst_start_prob)) {
+        in_burst = true;
+      }
+    }
+    const std::size_t count = poisson_sample(rng, rate);
+    for (std::size_t i = 0; i < count && trace.size() < num_requests; ++i) {
+      ArrivalEvent event;
+      event.request_id = trace.size();
+      event.step = step;
+      event.prompt_len =
+          uniform_len(rng, params.prompt_min, params.prompt_max);
+      event.decode_len =
+          uniform_len(rng, params.decode_min, params.decode_max);
+      event.stream_seed = rng.next_u64();
+      trace.push_back(event);
+    }
+    ++step;
+  }
+  return trace;
+}
+
+}  // namespace topick::wl

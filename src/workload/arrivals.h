@@ -1,0 +1,52 @@
+// Synthetic request-arrival traces for the serving simulator (src/serve/).
+//
+// Two processes cover the regimes the paper's batched-serving motivation
+// cares about: a memoryless Poisson stream (steady multi-user traffic) and a
+// Markov-modulated bursty stream (quiet/burst phases with geometric dwell
+// times) that stresses admission control and pool pressure. Prompt and decode
+// lengths are drawn per request from uniform ranges so in-flight sequences
+// have mixed lengths, like real serving.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace topick::wl {
+
+enum class ArrivalKind { poisson, bursty };
+
+struct ArrivalParams {
+  ArrivalKind kind = ArrivalKind::poisson;
+  // Mean arrivals per engine step (Poisson rate; bursty quiet-phase rate).
+  double rate = 0.5;
+  // Bursty phase: arrival rate multiplies by burst_factor while in a burst.
+  double burst_factor = 6.0;
+  double burst_start_prob = 0.05;  // quiet -> burst transition per step
+  double burst_stop_prob = 0.25;   // burst -> quiet transition per step
+  // Mixed request lengths, inclusive uniform ranges.
+  std::size_t prompt_min = 8;
+  std::size_t prompt_max = 64;
+  std::size_t decode_min = 8;
+  std::size_t decode_max = 64;
+};
+
+struct ArrivalEvent {
+  std::uint64_t request_id = 0;
+  std::size_t step = 0;  // engine step at which the request arrives
+  std::size_t prompt_len = 0;
+  std::size_t decode_len = 0;
+  // Seeds the request's synthetic K/V/query stream (see decode_stream.h),
+  // making preemption-recompute and shadow references replayable.
+  std::uint64_t stream_seed = 0;
+};
+
+// Generates `num_requests` arrivals, ordered by step. Request ids are dense
+// starting at 0.
+std::vector<ArrivalEvent> make_arrival_trace(const ArrivalParams& params,
+                                             std::size_t num_requests,
+                                             Rng& rng);
+
+}  // namespace topick::wl

@@ -1,0 +1,85 @@
+// Per-request synthetic decode streams for the serving simulator.
+//
+// Where generator.h back-solves keys for ONE query over a full context, a
+// serving request issues a fresh query every decode step over a growing
+// context. The structure that matters for paged reclamation is *persistence*:
+// a request has a latent topic direction; spike tokens (and the attention
+// sink) align with it and dominate every step's softmax, while bulk tokens
+// stay orders of magnitude below the pruning threshold for query after query.
+// Token-Picker therefore prunes the same bulk tokens step after step, pages
+// filled with them go persistently dead, and the pool can reclaim — the
+// serving-side payoff of the paper's estimator.
+//
+// Streams are a pure function of (params, lengths, shape, seed), so
+// preemption-recompute and shadow exact references replay bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/kv_cache.h"
+
+namespace topick::wl {
+
+struct DecodeStreamParams {
+  int head_dim = 32;
+  // Fraction of tokens whose key carries the topic component.
+  double spike_fraction = 0.12;
+  double spike_scale = 12.0;        // topic-aligned key magnitude
+  double bulk_scale = 0.3;          // isotropic noise on every key
+  double query_topic_scale = 3.5;   // topic-aligned query magnitude
+  double query_noise = 0.5;
+  double value_std = 1.0;
+  int sink_tokens = 1;              // leading tokens forced spiky
+};
+
+// One head's K/V token stream plus the per-step queries.
+struct HeadStream {
+  std::vector<float> keys;     // (n_tokens, head_dim) row-major
+  std::vector<float> values;   // (n_tokens, head_dim)
+  std::vector<float> queries;  // (decode_len, head_dim)
+};
+
+struct DecodeStream {
+  std::size_t prompt_len = 0;
+  std::size_t decode_len = 0;
+  int n_layer = 1;
+  int n_head = 1;
+  int head_dim = 0;
+  std::vector<HeadStream> heads;  // layer-major: heads[layer * n_head + head]
+  std::vector<bool> spike;        // per token: carries the topic component
+
+  std::size_t total_tokens() const { return prompt_len + decode_len; }
+
+  const HeadStream& head(int layer, int h) const {
+    return heads[static_cast<std::size_t>(layer) * n_head + h];
+  }
+  std::span<const float> key(int layer, int h, std::size_t token) const {
+    return {head(layer, h).keys.data() + token * head_dim,
+            static_cast<std::size_t>(head_dim)};
+  }
+  std::span<const float> value(int layer, int h, std::size_t token) const {
+    return {head(layer, h).values.data() + token * head_dim,
+            static_cast<std::size_t>(head_dim)};
+  }
+  std::span<const float> query(int layer, int h, std::size_t step) const {
+    return {head(layer, h).queries.data() + step * head_dim,
+            static_cast<std::size_t>(head_dim)};
+  }
+
+  // Contiguous view over tokens [0, len) of one head — the single-request
+  // reference context for shadow exact attention.
+  KvHeadView context_view(int layer, int h, std::size_t len) const {
+    const auto& hs = head(layer, h);
+    return KvHeadView{hs.keys.data(), hs.values.data(), len,
+                      static_cast<std::size_t>(head_dim)};
+  }
+};
+
+DecodeStream make_decode_stream(const DecodeStreamParams& params,
+                                std::size_t prompt_len, std::size_t decode_len,
+                                int n_layer, int n_head, std::uint64_t seed);
+
+}  // namespace topick::wl

@@ -1,0 +1,465 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/exact_attention.h"
+#include "core/token_picker.h"
+#include "serve/batcher.h"
+#include "serve/paged_kv_pool.h"
+#include "serve/paged_sequence.h"
+#include "serve/serve_engine.h"
+#include "workload/arrivals.h"
+#include "workload/decode_stream.h"
+
+namespace topick::serve {
+namespace {
+
+// ---- PagedKvPool ------------------------------------------------------------
+
+TEST(PagedKvPool, AllocFreeAccounting) {
+  PagedKvPool pool({4, 2, 3});
+  EXPECT_EQ(pool.pages_free(), 4u);
+  const auto a = pool.alloc_page();
+  const auto b = pool.alloc_page();
+  ASSERT_NE(a, PagedKvPool::kInvalidPage);
+  ASSERT_NE(b, PagedKvPool::kInvalidPage);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.pages_in_use(), 2u);
+  EXPECT_EQ(pool.peak_pages_in_use(), 2u);
+  pool.free_page(a);
+  EXPECT_EQ(pool.pages_in_use(), 1u);
+  EXPECT_EQ(pool.peak_pages_in_use(), 2u);  // peak sticks
+  EXPECT_EQ(pool.reuses(), 0u);
+  const auto c = pool.alloc_page();  // comes back from the free list
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(PagedKvPool, ExhaustionReturnsInvalid) {
+  PagedKvPool pool({2, 2, 2});
+  EXPECT_NE(pool.alloc_page(), PagedKvPool::kInvalidPage);
+  EXPECT_NE(pool.alloc_page(), PagedKvPool::kInvalidPage);
+  EXPECT_EQ(pool.alloc_page(), PagedKvPool::kInvalidPage);
+}
+
+TEST(PagedKvPool, DoubleFreeThrows) {
+  PagedKvPool pool({2, 2, 2});
+  const auto a = pool.alloc_page();
+  pool.free_page(a);
+  EXPECT_THROW(pool.free_page(a), std::logic_error);
+}
+
+// ---- PagedSequence ----------------------------------------------------------
+
+std::vector<float> ramp(std::size_t dim, float base) {
+  std::vector<float> x(dim);
+  for (std::size_t d = 0; d < dim; ++d) x[d] = base + static_cast<float>(d);
+  return x;
+}
+
+TEST(PagedSequence, AppendSpansPageBoundaries) {
+  PagedKvPool pool({8, 4, 2});
+  PagedSequence seq(&pool);
+  for (int t = 0; t < 10; ++t) {  // 2.5 pages of 4 tokens
+    ASSERT_TRUE(seq.append(ramp(2, static_cast<float>(10 * t)),
+                           ramp(2, static_cast<float>(-10 * t))));
+  }
+  EXPECT_EQ(seq.appended_tokens(), 10u);
+  EXPECT_EQ(seq.pages_held(), 3u);
+  std::vector<std::size_t> ids;
+  const auto view = seq.view(&ids);
+  ASSERT_EQ(view.len(), 10u);
+  for (int t = 0; t < 10; ++t) {
+    const auto u = static_cast<std::size_t>(t);
+    EXPECT_EQ(ids[u], u);
+    EXPECT_FLOAT_EQ(view.key(u)[0], static_cast<float>(10 * t));
+    EXPECT_FLOAT_EQ(view.key(u)[1], static_cast<float>(10 * t + 1));
+    EXPECT_FLOAT_EQ(view.value(u)[0], static_cast<float>(-10 * t));
+  }
+}
+
+TEST(PagedSequence, ReclamationFreesOnlyFullDeadPagesAndKeepsSurvivorsReadable) {
+  PagedKvPool pool({8, 4, 2});
+  PagedSequence seq(&pool);
+  for (int t = 0; t < 12; ++t) {  // 3 full pages
+    ASSERT_TRUE(seq.append(ramp(2, static_cast<float>(t)), ramp(2, 0.0f)));
+  }
+  // Kill all of page 1 (tokens 4..7) and part of page 0.
+  for (std::size_t t = 4; t < 8; ++t) seq.mark_dead(t);
+  seq.mark_dead(0);
+  EXPECT_EQ(seq.sweep(), 1u);  // only page 1 is fully dead
+  EXPECT_EQ(seq.pages_held(), 2u);
+  EXPECT_EQ(pool.pages_free(), 8u - 2u);
+
+  std::vector<std::size_t> ids;
+  const auto view = seq.view(&ids);
+  ASSERT_EQ(view.len(), 7u);  // 12 - 4 (page 1) - 1 (token 0)
+  const std::vector<std::size_t> expected_ids{1, 2, 3, 8, 9, 10, 11};
+  EXPECT_EQ(ids, expected_ids);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_FLOAT_EQ(view.key(i)[0], static_cast<float>(ids[i]));
+  }
+}
+
+TEST(PagedSequence, PartialTailPageIsNeverFreed) {
+  PagedKvPool pool({8, 4, 2});
+  PagedSequence seq(&pool);
+  for (int t = 0; t < 6; ++t) {  // page 0 full, page 1 holds 2 tokens
+    ASSERT_TRUE(seq.append(ramp(2, 1.0f), ramp(2, 1.0f)));
+  }
+  seq.mark_dead(4);
+  seq.mark_dead(5);
+  EXPECT_EQ(seq.sweep(), 0u);  // tail partial: appends still land there
+  ASSERT_TRUE(seq.append(ramp(2, 9.0f), ramp(2, 9.0f)));  // token 6, same page
+  EXPECT_EQ(seq.pages_held(), 2u);
+  std::vector<std::size_t> ids;
+  const auto view = seq.view(&ids);
+  const std::vector<std::size_t> expected_ids{0, 1, 2, 3, 6};
+  EXPECT_EQ(ids, expected_ids);
+  EXPECT_FLOAT_EQ(view.key(4)[0], 9.0f);
+}
+
+TEST(PagedKvCache, FragmentationCountsDeadAndTailSlack) {
+  PagedKvPool pool({16, 4, 2});
+  PagedKvCache cache(&pool, 1, 1);
+  auto& seq = cache.seq(0, 0);
+  for (int t = 0; t < 6; ++t) {  // page 0 full, page 1 half full
+    ASSERT_TRUE(seq.append(ramp(2, 0.0f), ramp(2, 0.0f)));
+  }
+  // 8 allocated slots, 6 live: tail slack only.
+  EXPECT_NEAR(cache.fragmentation(), 2.0 / 8.0, 1e-12);
+  seq.mark_dead(1);
+  EXPECT_NEAR(cache.fragmentation(), 3.0 / 8.0, 1e-12);
+}
+
+TEST(PagedSequence, ReleaseAllReturnsPages) {
+  PagedKvPool pool({8, 4, 2});
+  {
+    PagedSequence seq(&pool);
+    for (int t = 0; t < 9; ++t) {
+      ASSERT_TRUE(seq.append(ramp(2, 0.0f), ramp(2, 0.0f)));
+    }
+    EXPECT_EQ(pool.pages_in_use(), 3u);
+    seq.release_all();
+    EXPECT_EQ(pool.pages_in_use(), 0u);
+    EXPECT_EQ(seq.appended_tokens(), 0u);
+  }
+  // Destructor after release_all must not double free.
+  EXPECT_EQ(pool.pages_free(), 8u);
+}
+
+// ---- PrunePersistence -------------------------------------------------------
+
+TEST(PrunePersistence, StreaksAndReset) {
+  PrunePersistence tracker(3);
+  for (int i = 0; i < 2; ++i) tracker.observe(7, /*kept=*/false);
+  EXPECT_FALSE(tracker.persistent(7));
+  tracker.observe(7, /*kept=*/true);  // kept resets the streak
+  EXPECT_EQ(tracker.streak(7), 0);
+  for (int i = 0; i < 3; ++i) tracker.observe(7, /*kept=*/false);
+  EXPECT_TRUE(tracker.persistent(7));
+  EXPECT_FALSE(tracker.persistent(3));  // untouched token
+}
+
+// ---- workload: arrivals and decode streams ----------------------------------
+
+TEST(Arrivals, PoissonTraceOrderedAndInRange) {
+  wl::ArrivalParams params;
+  params.rate = 1.5;
+  params.prompt_min = 4;
+  params.prompt_max = 9;
+  params.decode_min = 2;
+  params.decode_max = 5;
+  Rng rng(11);
+  const auto trace = wl::make_arrival_trace(params, 64, rng);
+  ASSERT_EQ(trace.size(), 64u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].request_id, i);
+    if (i > 0) {
+      EXPECT_GE(trace[i].step, trace[i - 1].step);
+    }
+    EXPECT_GE(trace[i].prompt_len, 4u);
+    EXPECT_LE(trace[i].prompt_len, 9u);
+    EXPECT_GE(trace[i].decode_len, 2u);
+    EXPECT_LE(trace[i].decode_len, 5u);
+  }
+}
+
+TEST(Arrivals, BurstyTraceClustersMoreThanPoisson) {
+  // Same mean arrival budget; the bursty trace should show a higher maximum
+  // per-step arrival count (crude burstiness proxy, deterministic seeds).
+  wl::ArrivalParams poisson;
+  poisson.rate = 0.8;
+  wl::ArrivalParams bursty = poisson;
+  bursty.kind = wl::ArrivalKind::bursty;
+
+  auto max_per_step = [](const std::vector<wl::ArrivalEvent>& trace) {
+    std::size_t best = 0, run = 0, step = static_cast<std::size_t>(-1);
+    for (const auto& e : trace) {
+      run = (e.step == step) ? run + 1 : 1;
+      step = e.step;
+      best = std::max(best, run);
+    }
+    return best;
+  };
+  Rng rng_a(5), rng_b(5);
+  const auto p = wl::make_arrival_trace(poisson, 256, rng_a);
+  const auto b = wl::make_arrival_trace(bursty, 256, rng_b);
+  EXPECT_GT(max_per_step(b), max_per_step(p));
+}
+
+TEST(DecodeStream, DeterministicAndShaped) {
+  wl::DecodeStreamParams params;
+  params.head_dim = 8;
+  const auto a = wl::make_decode_stream(params, 5, 3, 2, 2, 99);
+  const auto b = wl::make_decode_stream(params, 5, 3, 2, 2, 99);
+  ASSERT_EQ(a.heads.size(), 4u);
+  EXPECT_EQ(a.total_tokens(), 8u);
+  for (std::size_t h = 0; h < 4; ++h) {
+    EXPECT_EQ(a.heads[h].keys, b.heads[h].keys);
+    EXPECT_EQ(a.heads[h].queries, b.heads[h].queries);
+  }
+  EXPECT_TRUE(a.spike[0]);  // attention sink is always spiky
+}
+
+// ---- engine helpers ---------------------------------------------------------
+
+// Shadow check: every captured step of every retired request must match the
+// single-request exact-attention path over the FULL context (including any
+// reclaimed tokens), within the established pruning tolerance — the
+// OutputErrorBoundedByDroppedMass bound, plus a small absolute term because
+// the serving path quantizes over the live view, whose quantization scales
+// can differ slightly from the full-context reference's.
+void expect_outputs_match_exact(const ServeEngine& engine,
+                                double extra_abs_tol) {
+  const auto& config = engine.config();
+  for (const auto& request : engine.requests()) {
+    ASSERT_EQ(request.state, RequestState::finished);
+    ASSERT_EQ(request.outputs.size(), request.event.decode_len);
+    for (const auto& step : request.outputs) {
+      const std::size_t context_len = step.position + 1;
+      for (int layer = 0; layer < config.n_layer; ++layer) {
+        for (int head = 0; head < config.n_head; ++head) {
+          const auto inst =
+              static_cast<std::size_t>(layer) * config.n_head + head;
+          const auto view =
+              request.stream.context_view(layer, head, context_len);
+          const std::size_t decode_step = step.position -
+                                          request.event.prompt_len;
+          const auto q = request.stream.query(layer, head, decode_step);
+          const auto exact =
+              exact_attention_quantized(q, view, config.picker.quant);
+
+          double kept_mass = 0.0;
+          for (const std::size_t t : step.kept_tokens[inst]) {
+            kept_mass += exact.probs[t];
+          }
+          const double dropped = 1.0 - kept_mass;
+          float vmax = 0.0f;
+          for (std::size_t t = 0; t < context_len; ++t) {
+            for (const float x : view.value(t)) {
+              vmax = std::max(vmax, std::abs(x));
+            }
+          }
+          const double bound = 2.0 * std::max(dropped, 0.0) * vmax +
+                               extra_abs_tol;
+          ASSERT_EQ(step.out[inst].size(),
+                    static_cast<std::size_t>(config.head_dim));
+          for (int d = 0; d < config.head_dim; ++d) {
+            EXPECT_NEAR(step.out[inst][static_cast<std::size_t>(d)],
+                        exact.output[static_cast<std::size_t>(d)], bound)
+                << "request " << request.event.request_id << " pos "
+                << step.position << " layer " << layer << " head " << head
+                << " dim " << d << " dropped " << dropped;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<wl::ArrivalEvent> concurrent_trace(std::size_t count, Rng& rng,
+                                               std::size_t prompt_min,
+                                               std::size_t prompt_max,
+                                               std::size_t decode_min,
+                                               std::size_t decode_max) {
+  // All requests arrive at step 0 so the whole set is concurrently in flight.
+  wl::ArrivalParams params;
+  params.rate = static_cast<double>(count) * 2.0;
+  params.prompt_min = prompt_min;
+  params.prompt_max = prompt_max;
+  params.decode_min = decode_min;
+  params.decode_max = decode_max;
+  auto trace = wl::make_arrival_trace(params, count, rng);
+  for (auto& event : trace) event.step = 0;
+  return trace;
+}
+
+ServeConfig acceptance_config() {
+  ServeConfig config;
+  config.n_layer = 1;
+  config.n_head = 2;
+  config.head_dim = 32;
+  config.max_batch = 40;
+  config.pool_pages = 2048;  // ample: no preemption in the acceptance run
+  config.page_tokens = 8;
+  config.backend = BackendKind::token_picker;
+  config.picker.estimator.threshold = 1e-3;
+  config.persistence_window = 4;
+  config.reclaim = true;
+  config.capture_outputs = true;
+  config.simulate_dram = true;
+  return config;
+}
+
+// ---- the acceptance scenario ------------------------------------------------
+
+TEST(ServeEngine, ThirtyTwoConcurrentRequestsMatchExactAndReclaim) {
+  Rng rng(2024);
+  const auto trace = concurrent_trace(32, rng, 16, 48, 16, 48);
+
+  ServeConfig config = acceptance_config();
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  const auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests_retired, 32u);
+  EXPECT_EQ(metrics.preemptions, 0u);
+
+  // All 32 were genuinely concurrent: admitted at step 0.
+  for (const auto& request : engine.requests()) {
+    EXPECT_EQ(request.admit_step, 0u);
+  }
+
+  // Every retired request's per-step attention output matches the
+  // single-request exact path within the pruning tolerance.
+  expect_outputs_match_exact(engine, 5e-3);
+
+  // Pruning actually reclaimed storage, and freed pages were reused.
+  EXPECT_GT(metrics.pages_reclaimed, 0u);
+  EXPECT_GT(metrics.pool_reuses, 0u);
+
+  // Peak page occupancy strictly below the no-reclamation baseline of the
+  // identical scenario.
+  ServeConfig baseline = config;
+  baseline.reclaim = false;
+  baseline.capture_outputs = false;
+  ServeEngine no_reclaim(baseline);
+  no_reclaim.submit_trace(trace);
+  no_reclaim.run();
+  EXPECT_EQ(no_reclaim.metrics().requests_retired, 32u);
+  EXPECT_LT(metrics.pool_peak_pages, no_reclaim.metrics().pool_peak_pages);
+
+  // Pruning also moved fewer bits than the no-pruning baseline accounting.
+  EXPECT_LT(metrics.stats.total_bits_fetched(),
+            metrics.stats.total_bits_baseline());
+
+  // Latency proxy populated and ordered.
+  ASSERT_FALSE(metrics.step_cycle_samples.empty());
+  EXPECT_GE(metrics.p95_step_cycles(), metrics.p50_step_cycles());
+  EXPECT_GE(metrics.p99_step_cycles(), metrics.p95_step_cycles());
+  EXPECT_GT(metrics.tokens_per_second(), 0.0);
+  EXPECT_GT(metrics.bytes_per_token(), 0.0);
+}
+
+TEST(ServeEngine, ExactBackendMatchesExactReferenceTightly) {
+  Rng rng(77);
+  const auto trace = concurrent_trace(6, rng, 8, 16, 6, 12);
+  ServeConfig config = acceptance_config();
+  config.backend = BackendKind::exact_quantized;
+  config.reclaim = false;  // nothing prunes, nothing to reclaim
+  config.simulate_dram = false;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+  EXPECT_EQ(engine.metrics().requests_retired, 6u);
+  // dropped mass is zero for the exact backend, so the bound reduces to the
+  // absolute term.
+  expect_outputs_match_exact(engine, 1e-5);
+  EXPECT_EQ(engine.metrics().stats.total_bits_fetched(),
+            engine.metrics().stats.total_bits_baseline());
+}
+
+TEST(ServeEngine, PreemptionUnderPoolPressureStillFinishesCorrectly) {
+  Rng rng(31337);
+  const auto trace = concurrent_trace(12, rng, 12, 24, 8, 24);
+  ServeConfig config = acceptance_config();
+  config.max_batch = 12;
+  config.pool_pages = 60;  // tight: forces eviction + recompute
+  config.simulate_dram = false;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  const auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests_retired, 12u);
+  EXPECT_GT(metrics.preemptions, 0u);
+  // Preempted-and-recomputed requests still satisfy the exact-match bound.
+  expect_outputs_match_exact(engine, 5e-3);
+}
+
+TEST(ServeEngine, StaggeredPoissonArrivalsDrainCompletely) {
+  wl::ArrivalParams params;
+  params.rate = 0.7;
+  params.prompt_min = 8;
+  params.prompt_max = 24;
+  params.decode_min = 4;
+  params.decode_max = 16;
+  Rng rng(4242);
+  const auto trace = wl::make_arrival_trace(params, 24, rng);
+
+  ServeConfig config = acceptance_config();
+  config.max_batch = 6;  // smaller than the request count: queueing happens
+  config.capture_outputs = false;
+  config.simulate_dram = false;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  EXPECT_EQ(engine.metrics().requests_retired, 24u);
+  std::uint64_t tokens = 0;
+  for (const auto& request : engine.requests()) {
+    EXPECT_EQ(request.state, RequestState::finished);
+    EXPECT_GE(request.admit_step, request.event.step);
+    tokens += request.event.decode_len;
+  }
+  EXPECT_EQ(engine.metrics().tokens_generated, tokens);
+}
+
+TEST(ServeEngine, SpAttenBackendRunsToCompletion) {
+  Rng rng(99);
+  const auto trace = concurrent_trace(8, rng, 12, 20, 6, 10);
+  ServeConfig config = acceptance_config();
+  config.backend = BackendKind::spatten;
+  config.reclaim = false;  // reclamation is Token-Picker-driven
+  config.capture_outputs = false;
+  config.simulate_dram = false;
+  config.spatten.final_keep_ratio = 0.6;
+  config.spatten.start_layer = 0;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+  EXPECT_EQ(engine.metrics().requests_retired, 8u);
+  EXPECT_GT(engine.metrics().stats.total_bits_fetched(), 0u);
+}
+
+TEST(ServeEngine, FragmentationReportedWithinUnitInterval) {
+  Rng rng(1);
+  const auto trace = concurrent_trace(8, rng, 8, 24, 8, 16);
+  ServeConfig config = acceptance_config();
+  config.capture_outputs = false;
+  config.simulate_dram = false;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+  EXPECT_GE(engine.metrics().avg_fragmentation, 0.0);
+  EXPECT_LE(engine.metrics().avg_fragmentation, 1.0);
+}
+
+}  // namespace
+}  // namespace topick::serve
