@@ -1,8 +1,11 @@
 // Serving-fleet benchmark: runs the continuous-batching ServeEngine over a
 // fixed Poisson trace under the exact backend and Token-Picker at the paper's
-// operating thresholds, and emits BENCH_serving.json — the perf trajectory
-// seed for the serving subsystem (tokens/s under the 1 GHz DRAM-cycle proxy,
-// bytes/token, p50/p95/p99 step latency, pool peak/reclaim counters).
+// operating thresholds, plus a bursty-trace chunked-vs-monolithic prefill
+// comparison, and emits BENCH_serving.json — the perf trajectory seed for the
+// serving subsystem (tokens/s under the 1 GHz DRAM-cycle proxy, bytes/token
+// including prompt writes, p50/p95/p99 decode-step latency, TTFT and
+// request-latency percentiles, queue wait, prefill bytes, pool
+// peak/reclaim counters).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,11 +24,11 @@ struct BenchRow {
   serve::FleetMetrics metrics;
   std::size_t peak_pages = 0;
   std::size_t pool_pages = 0;
+  std::size_t prefill_chunk_tokens = 0;
 };
 
-BenchRow run_one(const std::string& name, serve::BackendKind backend,
-                 double threshold, bool reclaim,
-                 const std::vector<wl::ArrivalEvent>& trace) {
+serve::ServeConfig bench_config(serve::BackendKind backend, double threshold,
+                                bool reclaim, std::size_t prefill_chunk) {
   serve::ServeConfig config;
   config.n_layer = 2;
   config.n_head = 2;
@@ -38,18 +41,89 @@ BenchRow run_one(const std::string& name, serve::BackendKind backend,
   config.persistence_window = 4;
   config.reclaim = reclaim;
   config.capture_outputs = false;
+  config.prefill_chunk_tokens = prefill_chunk;
+  return config;
+}
 
+BenchRow run_one(const std::string& name, const serve::ServeConfig& config,
+                 const std::vector<wl::ArrivalEvent>& trace) {
   serve::ServeEngine engine(config);
   engine.submit_trace(trace);
   engine.run();
   return BenchRow{name, engine.metrics(), engine.pool().peak_pages_in_use(),
-                  config.pool_pages};
+                  config.pool_pages, config.prefill_chunk_tokens};
 }
 
 std::string json_escape_number(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+void print_table(const std::vector<BenchRow>& rows) {
+  TablePrinter table({"config", "tokens/s", "bytes/token", "p50", "p95", "p99",
+                      "TTFT p50", "TTFT p95", "q-wait", "prefill MB",
+                      "KV red.", "peak pages", "reclaimed"});
+  for (const auto& row : rows) {
+    const auto& m = row.metrics;
+    table.add_row({row.name, TablePrinter::fmt(m.tokens_per_second(), 0),
+                   TablePrinter::fmt(m.bytes_per_token(), 0),
+                   TablePrinter::fmt(m.p50_step_cycles(), 0),
+                   TablePrinter::fmt(m.p95_step_cycles(), 0),
+                   TablePrinter::fmt(m.p99_step_cycles(), 0),
+                   TablePrinter::fmt(m.p50_ttft_cycles(), 0),
+                   TablePrinter::fmt(m.p95_ttft_cycles(), 0),
+                   TablePrinter::fmt(m.avg_queue_wait_steps(), 1),
+                   TablePrinter::fmt(m.prefill_bytes() / 1e6, 2),
+                   TablePrinter::fmt_ratio(m.stats.total_reduction()),
+                   std::to_string(row.peak_pages),
+                   std::to_string(m.pages_reclaimed)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void emit_rows(FILE* out, const std::vector<BenchRow>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = rows[i].metrics;
+    std::fprintf(
+        out,
+        "    {\"config\": \"%s\", \"prefill_chunk_tokens\": %zu, "
+        "\"tokens_per_s\": %s, "
+        "\"bytes_per_token\": %s, \"p50_step_cycles\": %s, "
+        "\"p95_step_cycles\": %s, \"p99_step_cycles\": %s, "
+        "\"p50_ttft_cycles\": %s, \"p95_ttft_cycles\": %s, "
+        "\"p99_ttft_cycles\": %s, \"p50_request_latency_cycles\": %s, "
+        "\"p95_request_latency_cycles\": %s, "
+        "\"p99_request_latency_cycles\": %s, \"avg_queue_wait_steps\": %s, "
+        "\"prefill_bytes\": %s, \"prefill_tokens\": %llu, "
+        "\"kv_traffic_reduction\": %s, \"pruning_ratio\": %s, "
+        "\"peak_pages\": %zu, \"pool_pages\": %zu, \"pages_reclaimed\": %llu, "
+        "\"pool_reuses\": %llu, \"preemptions\": %llu, "
+        "\"avg_fragmentation\": %s}%s\n",
+        rows[i].name.c_str(), rows[i].prefill_chunk_tokens,
+        json_escape_number(m.tokens_per_second()).c_str(),
+        json_escape_number(m.bytes_per_token()).c_str(),
+        json_escape_number(m.p50_step_cycles()).c_str(),
+        json_escape_number(m.p95_step_cycles()).c_str(),
+        json_escape_number(m.p99_step_cycles()).c_str(),
+        json_escape_number(m.p50_ttft_cycles()).c_str(),
+        json_escape_number(m.p95_ttft_cycles()).c_str(),
+        json_escape_number(m.p99_ttft_cycles()).c_str(),
+        json_escape_number(m.p50_request_latency_cycles()).c_str(),
+        json_escape_number(m.p95_request_latency_cycles()).c_str(),
+        json_escape_number(m.p99_request_latency_cycles()).c_str(),
+        json_escape_number(m.avg_queue_wait_steps()).c_str(),
+        json_escape_number(m.prefill_bytes()).c_str(),
+        static_cast<unsigned long long>(m.prefill_tokens),
+        json_escape_number(m.stats.total_reduction()).c_str(),
+        json_escape_number(m.stats.pruning_ratio()).c_str(), rows[i].peak_pages,
+        rows[i].pool_pages,
+        static_cast<unsigned long long>(m.pages_reclaimed),
+        static_cast<unsigned long long>(m.pool_reuses),
+        static_cast<unsigned long long>(m.preemptions),
+        json_escape_number(m.avg_fragmentation).c_str(),
+        i + 1 < rows.size() ? "," : "");
+  }
 }
 
 }  // namespace
@@ -64,30 +138,60 @@ int main() {
   Rng rng(17);
   const auto trace = wl::make_arrival_trace(params, 32, rng);
 
+  constexpr std::size_t kChunk = 16;
   std::vector<BenchRow> rows;
-  rows.push_back(run_one("exact", serve::BackendKind::exact_quantized, 0.0,
-                         false, trace));
-  rows.push_back(run_one("topick_thr1e-3_noreclaim",
-                         serve::BackendKind::token_picker, 1e-3, false, trace));
-  rows.push_back(run_one("topick_thr1e-3", serve::BackendKind::token_picker,
-                         1e-3, true, trace));
-  rows.push_back(run_one("topick_thr4e-3", serve::BackendKind::token_picker,
-                         4e-3, true, trace));
+  rows.push_back(run_one(
+      "exact",
+      bench_config(serve::BackendKind::exact_quantized, 0.0, false, kChunk),
+      trace));
+  rows.push_back(run_one(
+      "topick_thr1e-3_noreclaim",
+      bench_config(serve::BackendKind::token_picker, 1e-3, false, kChunk),
+      trace));
+  rows.push_back(run_one(
+      "topick_thr1e-3",
+      bench_config(serve::BackendKind::token_picker, 1e-3, true, kChunk),
+      trace));
+  rows.push_back(run_one(
+      "topick_thr4e-3",
+      bench_config(serve::BackendKind::token_picker, 4e-3, true, kChunk),
+      trace));
+  std::printf("Poisson trace, chunked prefill (%zu tokens/step):\n", kChunk);
+  print_table(rows);
 
-  TablePrinter table({"config", "tokens/s", "bytes/token", "p50", "p95", "p99",
-                      "KV red.", "peak pages", "reclaimed"});
-  for (const auto& row : rows) {
-    const auto& m = row.metrics;
-    table.add_row({row.name, TablePrinter::fmt(m.tokens_per_second(), 0),
-                   TablePrinter::fmt(m.bytes_per_token(), 0),
-                   TablePrinter::fmt(m.p50_step_cycles(), 0),
-                   TablePrinter::fmt(m.p95_step_cycles(), 0),
-                   TablePrinter::fmt(m.p99_step_cycles(), 0),
-                   TablePrinter::fmt_ratio(m.stats.total_reduction()),
-                   std::to_string(row.peak_pages),
-                   std::to_string(m.pages_reclaimed)});
-  }
-  std::printf("%s\n", table.render().c_str());
+  // Chunked vs monolithic prefill under a bursty trace with long prompts:
+  // monolithic prefill dumps a whole prompt's K/V writes into one step, so
+  // co-scheduled decodes eat the burst in their tail latency.
+  wl::ArrivalParams bursty;
+  bursty.kind = wl::ArrivalKind::bursty;
+  bursty.rate = 0.5;
+  bursty.burst_factor = 8.0;
+  bursty.prompt_min = 96;
+  bursty.prompt_max = 256;
+  bursty.decode_min = 16;
+  bursty.decode_max = 48;
+  Rng bursty_rng(23);
+  const auto bursty_trace = wl::make_arrival_trace(bursty, 32, bursty_rng);
+
+  std::vector<BenchRow> prefill_rows;
+  prefill_rows.push_back(run_one(
+      "topick_chunked_prefill",
+      bench_config(serve::BackendKind::token_picker, 1e-3, true, kChunk),
+      bursty_trace));
+  prefill_rows.push_back(run_one(
+      "topick_monolithic_prefill",
+      bench_config(serve::BackendKind::token_picker, 1e-3, true, 0),
+      bursty_trace));
+  std::printf("Bursty trace, chunked vs monolithic prefill:\n");
+  print_table(prefill_rows);
+  std::printf(
+      "decode p99: chunked %.0f cycles vs monolithic %.0f cycles (%s)\n\n",
+      prefill_rows[0].metrics.p99_step_cycles(),
+      prefill_rows[1].metrics.p99_step_cycles(),
+      prefill_rows[0].metrics.p99_step_cycles() <
+              prefill_rows[1].metrics.p99_step_cycles()
+          ? "chunked wins"
+          : "monolithic wins");
 
   FILE* out = std::fopen("BENCH_serving.json", "w");
   if (!out) {
@@ -99,34 +203,18 @@ int main() {
                "  \"workload\": {\"requests\": 32, \"arrivals\": \"poisson\", "
                "\"rate\": 0.8, \"prompt\": [16, 80], \"decode\": [16, 48], "
                "\"n_layer\": 2, \"n_head\": 2, \"head_dim\": 64, "
-               "\"max_batch\": 12, \"page_tokens\": 8},\n");
+               "\"max_batch\": 12, \"page_tokens\": 8, "
+               "\"prefill_chunk_tokens\": %zu},\n",
+               kChunk);
   std::fprintf(out, "  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& m = rows[i].metrics;
-    std::fprintf(
-        out,
-        "    {\"config\": \"%s\", \"tokens_per_s\": %s, "
-        "\"bytes_per_token\": %s, \"p50_step_cycles\": %s, "
-        "\"p95_step_cycles\": %s, \"p99_step_cycles\": %s, "
-        "\"kv_traffic_reduction\": %s, \"pruning_ratio\": %s, "
-        "\"peak_pages\": %zu, \"pool_pages\": %zu, \"pages_reclaimed\": %llu, "
-        "\"pool_reuses\": %llu, \"preemptions\": %llu, "
-        "\"avg_fragmentation\": %s}%s\n",
-        rows[i].name.c_str(), json_escape_number(m.tokens_per_second()).c_str(),
-        json_escape_number(m.bytes_per_token()).c_str(),
-        json_escape_number(m.p50_step_cycles()).c_str(),
-        json_escape_number(m.p95_step_cycles()).c_str(),
-        json_escape_number(m.p99_step_cycles()).c_str(),
-        json_escape_number(m.stats.total_reduction()).c_str(),
-        json_escape_number(m.stats.pruning_ratio()).c_str(), rows[i].peak_pages,
-        rows[i].pool_pages,
-        static_cast<unsigned long long>(m.pages_reclaimed),
-        static_cast<unsigned long long>(m.pool_reuses),
-        static_cast<unsigned long long>(m.preemptions),
-        json_escape_number(m.avg_fragmentation).c_str(),
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
+  emit_rows(out, rows);
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"prefill_comparison\": {\"arrivals\": \"bursty\", "
+               "\"rate\": 0.5, \"burst_factor\": 8, \"prompt\": [96, 256], "
+               "\"decode\": [16, 48], \"results\": [\n");
+  emit_rows(out, prefill_rows);
+  std::fprintf(out, "  ]}\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_serving.json\n");
   return 0;

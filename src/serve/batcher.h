@@ -3,7 +3,9 @@
 //
 // Policy (vLLM-style):
 //   * admission is FIFO with head-of-line blocking — the front request admits
-//     only when the pool has every page its (re)prefill needs;
+//     only when the pool has every page its (re)prefill needs AND a prefill
+//     slot is available (max_prefill caps concurrent chunked prefills so
+//     prompt writes can't starve running decodes of DRAM bandwidth);
 //   * under pool pressure mid-decode, the most recently admitted running
 //     request is preempted (recompute-on-resume), freeing all its pages, and
 //     re-enters the queue at the front.
@@ -17,7 +19,11 @@
 namespace topick::serve {
 
 struct BatcherConfig {
-  std::size_t max_batch = 16;  // concurrent decode slots
+  std::size_t max_batch = 16;  // concurrent slots (prefilling + decoding)
+  // Cap on concurrently *prefilling* requests (0 = uncapped). Chunked prefill
+  // charges prompt-write traffic into the same step as running decodes, so
+  // this bounds how much of a step's DRAM budget new admissions can claim.
+  std::size_t max_prefill = 0;
 };
 
 class ContinuousBatcher {
@@ -27,12 +33,27 @@ class ContinuousBatcher {
   RequestQueue& queue() { return queue_; }
   const RequestQueue& queue() const { return queue_; }
 
-  // Running requests in admission order (decode iterates this order).
+  // Running requests in admission order (the step loop iterates this order);
+  // includes requests still prefilling.
   const std::vector<std::size_t>& running() const { return running_; }
   bool has_slot() const { return running_.size() < config_.max_batch; }
+  bool has_prefill_slot() const {
+    return config_.max_prefill == 0 || prefilling_.size() < config_.max_prefill;
+  }
 
+  // Admission with no prefill work left (zero-length prompt, or legacy use).
   void admit(std::size_t request) { running_.push_back(request); }
-  void retire(std::size_t request) { erase(request); }
+  // Admission into the prefilling set; begin_decode() moves the request to
+  // plain decoding once its prefill cursor reaches the target.
+  void admit_prefill(std::size_t request) {
+    running_.push_back(request);
+    prefilling_.push_back(request);
+  }
+  void begin_decode(std::size_t request) { erase_from(prefilling_, request); }
+  void retire(std::size_t request) {
+    erase_from(running_, request);
+    erase_from(prefilling_, request);
+  }
 
   // Preemption victim: the most recently admitted running request other than
   // `exclude`. Returns false when no other request is running.
@@ -47,17 +68,18 @@ class ContinuousBatcher {
   }
 
   void preempt(std::size_t request) {
-    erase(request);
+    erase_from(running_, request);
+    erase_from(prefilling_, request);
     queue_.push_preempted(request);
   }
 
   const BatcherConfig& config() const { return config_; }
 
  private:
-  void erase(std::size_t request) {
-    for (auto it = running_.begin(); it != running_.end(); ++it) {
+  static void erase_from(std::vector<std::size_t>& list, std::size_t request) {
+    for (auto it = list.begin(); it != list.end(); ++it) {
       if (*it == request) {
-        running_.erase(it);
+        list.erase(it);
         return;
       }
     }
@@ -66,6 +88,7 @@ class ContinuousBatcher {
   BatcherConfig config_;
   RequestQueue queue_;
   std::vector<std::size_t> running_;
+  std::vector<std::size_t> prefilling_;  // subset of running_
 };
 
 }  // namespace topick::serve

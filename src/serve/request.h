@@ -12,14 +12,24 @@
 
 namespace topick::serve {
 
-enum class RequestState { queued, running, preempted, finished };
+// `prefilling` requests hold a slot and append prompt K/V in chunks
+// (ServeConfig::prefill_chunk_tokens per step) before their first decode.
+enum class RequestState { queued, prefilling, running, preempted, finished };
 
 // Captured per decode step when ServeConfig::capture_outputs is set — the
 // evidence the acceptance test checks against shadow exact attention.
 struct StepOutput {
   std::size_t position = 0;  // query token index (== context len - 1)
   // Per (layer, head), layer-major: attention output and the stable token ids
-  // visible / kept at this step.
+  // of this step.
+  //   * view_tokens: ids still live in the paged cache *after* this step's
+  //     pruning/reclamation — the context the next decode step extends.
+  //     mark_dead/sweep run within the step, so this is captured post-reclaim
+  //     (the pre-reclaim attention view is view_tokens plus the ids the step
+  //     itself retired).
+  //   * kept_tokens: ids the backend kept (fully attended) at this step.
+  //     A kept verdict resets the token's prune streak, so kept_tokens is
+  //     always a subset of view_tokens.
   std::vector<std::vector<float>> out;
   std::vector<std::vector<std::size_t>> view_tokens;
   std::vector<std::vector<std::size_t>> kept_tokens;
@@ -35,11 +45,41 @@ struct Request {
   std::size_t finish_step = 0;
   int preemptions = 0;
 
+  // Chunked-prefill cursor: tokens the current (re)prefill must append
+  // (prompt plus, after preemption, the already-generated replay) and how
+  // many of them have been appended so far.
+  std::size_t prefill_target = 0;
+  std::size_t prefilled = 0;
+  std::uint64_t prefill_bits = 0;  // prompt K/V write traffic, replays included
+
+  // Request-level latency checkpoints. Steps are engine steps; cycles read
+  // the simulated DRAM clock (meaningful when ServeConfig::simulate_dram),
+  // stamped *after* the step's traffic drains so queue wait, prefill, and
+  // batch contention are all visible.
+  std::size_t first_token_step = 0;
+  bool first_token_recorded = false;
+  std::uint64_t arrival_cycle = 0;      // joined the admission queue
+  std::uint64_t first_token_cycle = 0;  // first decode token produced
+  std::uint64_t finish_cycle = 0;       // retired
+
   AccessStats stats;
   std::uint64_t dram_cycles = 0;  // summed per-step latency proxy
   std::vector<StepOutput> outputs;
 
   bool done() const { return generated >= event.decode_len; }
+  // 0 until first admission sets admit_step (admit_step defaults to 0, which
+  // can sit below event.step — don't underflow for not-yet-admitted requests).
+  std::size_t queue_wait_steps() const {
+    return admit_step >= event.step ? admit_step - event.step : 0;
+  }
+  // Zero until the checkpoint exists (no token yet / not finished) — a
+  // zero-decode request retired at arrival reports both as 0.
+  std::uint64_t ttft_cycles() const {
+    return first_token_recorded ? first_token_cycle - arrival_cycle : 0;
+  }
+  std::uint64_t latency_cycles() const {
+    return state == RequestState::finished ? finish_cycle - arrival_cycle : 0;
+  }
 };
 
 // FIFO admission queue; preempted requests re-enter at the front so they

@@ -12,10 +12,8 @@ namespace topick::serve {
 
 namespace {
 
-// Each request streams from its own 64 MiB address region, so concurrent
-// requests hit different rows/banks like distinct cache slabs would.
-std::uint64_t region_base(std::size_t request) {
-  return (static_cast<std::uint64_t>(request) + 1) << 26;
+double percentile_or_zero(const std::vector<double>& samples, double p) {
+  return samples.empty() ? 0.0 : percentile(samples, p);
 }
 
 }  // namespace
@@ -36,16 +34,38 @@ struct ServeEngine::Slot {
 };
 
 double FleetMetrics::p50_step_cycles() const {
-  return step_cycle_samples.empty() ? 0.0
-                                    : percentile(step_cycle_samples, 50.0);
+  return percentile_or_zero(step_cycle_samples, 50.0);
 }
 double FleetMetrics::p95_step_cycles() const {
-  return step_cycle_samples.empty() ? 0.0
-                                    : percentile(step_cycle_samples, 95.0);
+  return percentile_or_zero(step_cycle_samples, 95.0);
 }
 double FleetMetrics::p99_step_cycles() const {
-  return step_cycle_samples.empty() ? 0.0
-                                    : percentile(step_cycle_samples, 99.0);
+  return percentile_or_zero(step_cycle_samples, 99.0);
+}
+double FleetMetrics::p50_ttft_cycles() const {
+  return percentile_or_zero(ttft_cycle_samples, 50.0);
+}
+double FleetMetrics::p95_ttft_cycles() const {
+  return percentile_or_zero(ttft_cycle_samples, 95.0);
+}
+double FleetMetrics::p99_ttft_cycles() const {
+  return percentile_or_zero(ttft_cycle_samples, 99.0);
+}
+double FleetMetrics::p50_request_latency_cycles() const {
+  return percentile_or_zero(request_latency_cycle_samples, 50.0);
+}
+double FleetMetrics::p95_request_latency_cycles() const {
+  return percentile_or_zero(request_latency_cycle_samples, 95.0);
+}
+double FleetMetrics::p99_request_latency_cycles() const {
+  return percentile_or_zero(request_latency_cycle_samples, 99.0);
+}
+
+double FleetMetrics::avg_queue_wait_steps() const {
+  if (queue_wait_step_samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : queue_wait_step_samples) sum += s;
+  return sum / static_cast<double>(queue_wait_step_samples.size());
 }
 
 double FleetMetrics::tokens_per_second(double dram_clock_hz) const {
@@ -56,15 +76,17 @@ double FleetMetrics::tokens_per_second(double dram_clock_hz) const {
 
 double FleetMetrics::bytes_per_token() const {
   if (tokens_generated == 0) return 0.0;
-  return static_cast<double>(stats.total_bits_fetched()) / 8.0 /
-         static_cast<double>(tokens_generated);
+  return (static_cast<double>(stats.total_bits_fetched()) +
+          static_cast<double>(prefill_bits) +
+          static_cast<double>(decode_write_bits)) /
+         8.0 / static_cast<double>(tokens_generated);
 }
 
 ServeEngine::ServeEngine(const ServeConfig& config)
     : config_(config),
       pool_(PagedPoolConfig{config.pool_pages, config.page_tokens,
                             static_cast<std::size_t>(config.head_dim)}),
-      batcher_(BatcherConfig{config.max_batch}),
+      batcher_(BatcherConfig{config.max_batch, config.max_prefill}),
       picker_(config.picker),
       hbm_(config.dram) {
   require(config.n_layer > 0 && config.n_head > 0 && config.head_dim > 0,
@@ -79,10 +101,11 @@ void ServeEngine::submit(const wl::ArrivalEvent& event) {
           "ServeEngine::submit: arrivals must be in step order");
   Request request;
   request.event = event;
-  request.stream =
-      wl::make_decode_stream(config_.stream, event.prompt_len,
-                             event.decode_len, config_.n_layer, config_.n_head,
-                             event.stream_seed);
+  if (event.decode_len > 0) {
+    request.stream = wl::make_decode_stream(config_.stream, event.prompt_len,
+                                            event.decode_len, config_.n_layer,
+                                            config_.n_head, event.stream_seed);
+  }  // else: retired at arrival; the stream is never read.
   requests_.push_back(std::move(request));
   slots_.emplace_back(nullptr);
   dram_offset_.push_back(0);
@@ -91,6 +114,12 @@ void ServeEngine::submit(const wl::ArrivalEvent& event) {
 
 void ServeEngine::submit_trace(const std::vector<wl::ArrivalEvent>& trace) {
   for (const auto& event : trace) submit(event);
+}
+
+int ServeEngine::kv_bits_per_element() const {
+  return config_.backend == BackendKind::spatten
+             ? config_.spatten.quant.total_bits
+             : config_.picker.quant.total_bits;
 }
 
 std::size_t ServeEngine::pages_for_prefill(const Request& request) const {
@@ -107,12 +136,39 @@ std::size_t ServeEngine::pages_for_prefill(const Request& request) const {
 void ServeEngine::admit_due_requests() {
   while (next_arrival_ < requests_.size() &&
          requests_[next_arrival_].event.step <= now_) {
-    batcher_.queue().push_arrival(next_arrival_);
+    Request& req = requests_[next_arrival_];
+    req.arrival_cycle = hbm_.cycle();
+    if (req.event.decode_len == 0) {
+      // Nothing to generate: retire at arrival without taking a slot, pool
+      // pages, or a spurious decode step's DRAM traffic.
+      req.state = RequestState::finished;
+      req.admit_step = now_;
+      req.finish_step = now_;
+      req.finish_cycle = req.arrival_cycle;
+      ++finished_;
+      ++metrics_.requests_retired;
+    } else {
+      batcher_.queue().push_arrival(next_arrival_);
+    }
     ++next_arrival_;
   }
-  while (!batcher_.queue().empty() && batcher_.has_slot()) {
+  // Chunked prefill allocates pages lazily (prefill_chunk, later in the
+  // step), so pages_free() alone no longer reflects same-step admissions.
+  // Count the outstanding demand of every in-flight prefill as reserved to
+  // keep the admission invariant: the front request admits only when the
+  // pool can cover its whole (re)prefill.
+  std::size_t reserved = 0;
+  for (const std::size_t r : batcher_.running()) {
+    if (requests_[r].state != RequestState::prefilling) continue;
+    const std::size_t need = pages_for_prefill(requests_[r]);
+    const std::size_t held = slots_[r]->cache.pages_held();
+    reserved += need > held ? need - held : 0;
+  }
+  while (!batcher_.queue().empty() && batcher_.has_slot() &&
+         batcher_.has_prefill_slot()) {
     const std::size_t request = batcher_.queue().front();
-    if (pool_.pages_free() < pages_for_prefill(requests_[request])) {
+    const std::size_t need = pages_for_prefill(requests_[request]);
+    if (pool_.pages_free() < need + reserved) {
       // With an idle, fully-free pool this request can never fit — a config
       // error, not transient pressure.
       require(!batcher_.running().empty() ||
@@ -121,12 +177,19 @@ void ServeEngine::admit_due_requests() {
       break;
     }
     batcher_.queue().pop();
-    prefill(request);
-    batcher_.admit(request);
+    begin_prefill(request);
+    if (requests_[request].state == RequestState::prefilling) {
+      batcher_.admit_prefill(request);
+    } else {
+      batcher_.admit(request);  // zero-length prompt: straight to decode
+    }
+    // Reserve in both branches: even a zero-prefill admission allocates its
+    // first pages lazily (at its first decode append).
+    reserved += need;
   }
 }
 
-void ServeEngine::prefill(std::size_t request) {
+void ServeEngine::begin_prefill(std::size_t request) {
   Request& req = requests_[request];
   auto slot = std::make_unique<Slot>(&pool_, config_);
   if (config_.backend == BackendKind::spatten) {
@@ -135,22 +198,55 @@ void ServeEngine::prefill(std::size_t request) {
         req.stream.total_tokens());
     slot->spatten->begin_sequence();
   }
+  if (req.state == RequestState::queued) {
+    req.admit_step = now_;
+    metrics_.queue_wait_step_samples.push_back(
+        static_cast<double>(req.queue_wait_steps()));
+  }
   // Preempted requests recompute: prompt plus every already-generated token
-  // re-enters the pool (their K/V replay bit-identically from the stream).
-  const std::size_t tokens = req.event.prompt_len + req.generated;
+  // re-enters the pool chunk by chunk (their K/V replay bit-identically from
+  // the stream), and the replayed append traffic is charged again.
+  req.prefill_target = req.event.prompt_len + req.generated;
+  req.prefilled = 0;
+  req.state = req.prefill_target == 0 ? RequestState::running
+                                      : RequestState::prefilling;
+  slots_[request] = std::move(slot);
+}
+
+void ServeEngine::prefill_chunk(std::size_t request,
+                                std::vector<std::uint64_t>* step_bits) {
+  Request& req = requests_[request];
+  Slot& slot = *slots_[request];
+  const std::size_t remaining = req.prefill_target - req.prefilled;
+  const std::size_t chunk =
+      config_.prefill_chunk_tokens == 0
+          ? remaining
+          : std::min(config_.prefill_chunk_tokens, remaining);
+  ensure_pages_for_append(request, chunk);
+
   for (int layer = 0; layer < config_.n_layer; ++layer) {
     for (int head = 0; head < config_.n_head; ++head) {
-      auto& seq = slot->cache.seq(layer, head);
-      for (std::size_t t = 0; t < tokens; ++t) {
+      auto& seq = slot.cache.seq(layer, head);
+      for (std::size_t t = req.prefilled; t < req.prefilled + chunk; ++t) {
         const bool ok = seq.append(req.stream.key(layer, head, t),
                                    req.stream.value(layer, head, t));
         require(ok, "ServeEngine: prefill append failed despite page check");
       }
     }
   }
-  if (req.state == RequestState::queued) req.admit_step = now_;
-  req.state = RequestState::running;
-  slots_[request] = std::move(slot);
+
+  const std::uint64_t bits =
+      chunk * req.stream.token_write_bits(kv_bits_per_element());
+  req.prefilled += chunk;
+  req.prefill_bits += bits;
+  metrics_.prefill_bits += bits;
+  metrics_.prefill_tokens += chunk;
+  (*step_bits)[request] = bits;
+
+  if (req.prefilled == req.prefill_target) {
+    req.state = RequestState::running;  // first decode next step
+    batcher_.begin_decode(request);
+  }
 }
 
 void ServeEngine::preempt_for_pressure(std::size_t needy) {
@@ -168,23 +264,23 @@ void ServeEngine::preempt_for_pressure(std::size_t needy) {
   batcher_.preempt(victim);
 }
 
-bool ServeEngine::ensure_append_pages(std::size_t request) {
-  // Pages the next token's appends will open (one per sequence sitting at a
-  // page boundary). Preempt until they fit; the needy request itself is never
-  // chosen, so progress is guaranteed once it is the only one running.
+void ServeEngine::ensure_pages_for_append(std::size_t request,
+                                          std::size_t tokens) {
+  // Pages that appending `tokens` tokens to every sequence will open (one per
+  // page boundary the append range crosses). Preempt until they fit; the
+  // needy request itself is never chosen, so progress is guaranteed once it
+  // is the only one running.
   auto& slot = *slots_[request];
+  const std::size_t pt = config_.page_tokens;
   std::size_t needed = 0;
   for (int layer = 0; layer < config_.n_layer; ++layer) {
     for (int head = 0; head < config_.n_head; ++head) {
-      if (slot.cache.seq(layer, head).appended_tokens() %
-              config_.page_tokens ==
-          0) {
-        ++needed;
-      }
+      const std::size_t appended =
+          slot.cache.seq(layer, head).appended_tokens();
+      needed += (appended + tokens + pt - 1) / pt - (appended + pt - 1) / pt;
     }
   }
   while (pool_.pages_free() < needed) preempt_for_pressure(request);
-  return true;
 }
 
 void ServeEngine::decode_one(std::size_t request,
@@ -194,7 +290,7 @@ void ServeEngine::decode_one(std::size_t request,
   const std::size_t pos = req.event.prompt_len + req.generated;
   const auto dim = static_cast<std::size_t>(config_.head_dim);
 
-  ensure_append_pages(request);
+  ensure_pages_for_append(request, 1);
 
   StepOutput record;
   if (config_.capture_outputs) {
@@ -288,11 +384,26 @@ void ServeEngine::decode_one(std::size_t request,
 
       if (config_.capture_outputs) {
         record.out[inst] = std::move(out);
-        record.view_tokens[inst] = token_ids_;
+        // Post-reclaim liveness (see StepOutput in request.h): the reclaim
+        // above may have retired tokens of the view this step attended, so
+        // re-filter rather than copying the stale pre-reclaim id list.
+        auto& live_ids = record.view_tokens[inst];
+        live_ids.reserve(token_ids_.size());
+        for (const std::size_t id : token_ids_) {
+          if (seq.live(id)) live_ids.push_back(id);
+        }
         record.kept_tokens[inst] = std::move(kept_ids);
       }
     }
   }
+
+  // The step's appended K/V is written to DRAM too — the same per-token
+  // write shape a (re)prefill charges, so write accounting doesn't depend on
+  // whether a token entered the pool by decode or by preemption replay.
+  const std::uint64_t write_bits =
+      req.stream.token_write_bits(kv_bits_per_element());
+  bits += write_bits;
+  metrics_.decode_write_bits += write_bits;
 
   if (config_.capture_outputs) req.outputs.push_back(std::move(record));
   (*step_bits)[request] = bits;
@@ -315,26 +426,31 @@ void ServeEngine::retire(std::size_t request) {
 
 void ServeEngine::simulate_step_dram(
     const std::vector<std::uint64_t>& step_bits,
-    const std::vector<std::size_t>& decoded) {
+    const std::vector<StepXfer>& active) {
   const std::uint64_t start = hbm_.cycle();
   const auto granule =
       static_cast<std::uint64_t>(config_.dram.transaction_bytes);
 
-  std::vector<std::uint64_t> remaining(decoded.size());
-  std::vector<std::uint64_t> finish(decoded.size(), start);
+  std::vector<std::uint64_t> remaining(active.size());
+  std::vector<std::uint64_t> finish(active.size(), start);
   std::uint64_t total_remaining = 0;
-  for (std::size_t i = 0; i < decoded.size(); ++i) {
-    const std::uint64_t bytes = (step_bits[decoded[i]] + 7) / 8;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const std::uint64_t bytes = (step_bits[active[i].request] + 7) / 8;
     remaining[i] = (bytes + granule - 1) / granule;
     total_remaining += remaining[i];
   }
 
   while (total_remaining > 0 || hbm_.pending() > 0) {
-    for (std::size_t i = 0; i < decoded.size(); ++i) {
+    for (std::size_t i = 0; i < active.size(); ++i) {
       if (remaining[i] == 0) continue;
-      const std::size_t request = decoded[i];
+      const std::size_t request = active[i].request;
       mem::MemRequest mreq;
-      mreq.addr = region_base(request) + dram_offset_[request] * granule;
+      mreq.addr =
+          dram_layout::stream_addr(request, dram_offset_[request], granule);
+      require(mreq.addr >= dram_layout::region_base(request) &&
+                  mreq.addr < dram_layout::region_base(request) +
+                                  dram_layout::kRegionBytes,
+              "ServeEngine: stream address escaped its request region");
       mreq.id = i;
       if (hbm_.try_enqueue(mreq)) {
         --remaining[i];
@@ -348,10 +464,15 @@ void ServeEngine::simulate_step_dram(
     }
   }
 
-  for (std::size_t i = 0; i < decoded.size(); ++i) {
+  for (std::size_t i = 0; i < active.size(); ++i) {
     const auto cycles = finish[i] - start;
-    requests_[decoded[i]].dram_cycles += cycles;
-    metrics_.step_cycle_samples.push_back(static_cast<double>(cycles));
+    requests_[active[i].request].dram_cycles += cycles;
+    // Decode-step latency samples stay decode-only so prefill chunks don't
+    // masquerade as token latencies — but they DO stretch the co-scheduled
+    // decodes' samples through bus/bank contention above.
+    if (active[i].decode) {
+      metrics_.step_cycle_samples.push_back(static_cast<double>(cycles));
+    }
   }
   metrics_.dram_cycles = hbm_.cycle();
 }
@@ -361,18 +482,47 @@ bool ServeEngine::step() {
 
   admit_due_requests();
 
-  // Decode over a snapshot: preemption mutates the running list mid-loop.
+  // Walk a snapshot: preemption mutates the running list mid-loop. Prefill
+  // chunks and decodes interleave in the same step and share the step's DRAM
+  // traffic below.
   const std::vector<std::size_t> schedule = batcher_.running();
   std::vector<std::uint64_t> step_bits(requests_.size(), 0);
-  std::vector<std::size_t> decoded;
+  std::vector<StepXfer> active;
   for (const std::size_t request : schedule) {
-    if (requests_[request].state != RequestState::running) continue;
-    decode_one(request, &step_bits);
-    decoded.push_back(request);
+    if (requests_[request].state == RequestState::prefilling) {
+      prefill_chunk(request, &step_bits);
+      active.push_back(StepXfer{request, /*decode=*/false});
+    } else if (requests_[request].state == RequestState::running) {
+      decode_one(request, &step_bits);
+      active.push_back(StepXfer{request, /*decode=*/true});
+    }
   }
 
-  if (config_.simulate_dram && !decoded.empty()) {
-    simulate_step_dram(step_bits, decoded);
+  if (config_.simulate_dram && !active.empty()) {
+    simulate_step_dram(step_bits, active);
+  }
+
+  // Request-level latency checkpoints, stamped after the step's traffic so
+  // the DRAM clock includes this step's contention.
+  for (const auto& xfer : active) {
+    if (!xfer.decode) continue;
+    Request& req = requests_[xfer.request];
+    if (!req.first_token_recorded && req.generated >= 1) {
+      req.first_token_recorded = true;
+      req.first_token_step = now_;
+      req.first_token_cycle = hbm_.cycle();
+      if (config_.simulate_dram) {
+        metrics_.ttft_cycle_samples.push_back(
+            static_cast<double>(req.ttft_cycles()));
+      }
+    }
+    if (req.state == RequestState::finished && req.finish_step == now_) {
+      req.finish_cycle = hbm_.cycle();
+      if (config_.simulate_dram) {
+        metrics_.request_latency_cycle_samples.push_back(
+            static_cast<double>(req.latency_cycles()));
+      }
+    }
   }
 
   // Fragmentation sample over live slots (running requests only).

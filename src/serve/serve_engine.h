@@ -1,13 +1,19 @@
-// ServeEngine: the multi-tenant decode loop tying the subsystem together.
+// ServeEngine: the multi-tenant prefill+decode loop tying the subsystem
+// together.
 //
-// Each engine step: (1) admit due arrivals while slots and pool pages allow;
-// (2) for every running request, append the step's K/V through the paged
-// pool (preempting the youngest request under pool pressure) and run one
+// Each engine step: (1) admit due arrivals while slots, prefill slots, and
+// pool pages allow (zero-decode requests retire at arrival); (2) for every
+// prefilling request, append up to prefill_chunk_tokens of its prompt (or
+// preemption replay) through the paged pool and charge the K/V *write* bits
+// to the step; (3) for every decoding request, append the step's K/V
+// (preempting the youngest request under pool pressure) and run one
 // attention instance per (layer, head) through the configured backend —
-// exact quantized, Token-Picker, or SpAtten; (3) feed Token-Picker's
+// exact quantized, Token-Picker, or SpAtten; (4) feed Token-Picker's
 // per-token verdicts into PrunePersistence and reclaim fully-dead pages;
-// (4) replay the step's DRAM traffic through the memsim HBM model for a
-// per-request latency proxy in DRAM cycles; (5) retire finished requests.
+// (5) replay the step's combined prefill+decode DRAM traffic through the
+// memsim HBM model for a per-request latency proxy in DRAM cycles — prefill
+// is never free, so TTFT and decode tails see prompt bursts; (6) retire
+// finished requests.
 //
 // The engine is deterministic: request streams are pure functions of their
 // arrival events, so preemption-recompute and the test's shadow exact
@@ -33,6 +39,29 @@ namespace topick::serve {
 
 enum class BackendKind { exact_quantized, token_picker, spatten };
 
+// DRAM address layout for the latency proxy: each request streams within its
+// own 64 MiB region so concurrent requests hit different rows/banks like
+// distinct cache slabs would. Offsets wrap within the region — a long
+// request must never walk past its region into a neighbour's address range.
+namespace dram_layout {
+
+inline constexpr std::uint64_t kRegionBytes = 1ull << 26;
+
+constexpr std::uint64_t region_base(std::size_t request) {
+  return (static_cast<std::uint64_t>(request) + 1) * kRegionBytes;
+}
+
+// Byte address of the offset_granules-th transaction of `request`'s stream.
+constexpr std::uint64_t stream_addr(std::size_t request,
+                                    std::uint64_t offset_granules,
+                                    std::uint64_t granule_bytes) {
+  const std::uint64_t granules_per_region = kRegionBytes / granule_bytes;
+  return region_base(request) +
+         (offset_granules % granules_per_region) * granule_bytes;
+}
+
+}  // namespace dram_layout
+
 struct ServeConfig {
   int n_layer = 1;
   int n_head = 2;
@@ -46,6 +75,14 @@ struct ServeConfig {
   TokenPickerConfig picker;
   SpAttenConfig spatten;
   wl::DecodeStreamParams stream;  // head_dim is overridden from above
+
+  // Chunked prefill: prompt (or preemption-replay) tokens appended per
+  // engine step while a request is in the prefilling state. 0 = monolithic —
+  // the whole remaining prefill lands in a single step. Either way the
+  // prompt K/V write bits are charged to that step's DRAM traffic.
+  std::size_t prefill_chunk_tokens = 16;
+  // Concurrent chunked prefills (0 = uncapped); see BatcherConfig.
+  std::size_t max_prefill = 0;
 
   // Consecutive pruned queries before a token's storage may be reclaimed.
   int persistence_window = 4;
@@ -69,10 +106,28 @@ struct FleetMetrics {
 
   AccessStats stats;  // decode attention traffic, fleet-wide
 
-  // Latency proxy: DRAM cycles to serve one request's one decode step (all
-  // its layers/heads), under contention from the co-scheduled batch.
+  // Prefill accounting: token positions appended by (re)prefill — preemption
+  // replays included — and the K/V write bits charged to the DRAM proxy.
+  std::uint64_t prefill_tokens = 0;
+  std::uint64_t prefill_bits = 0;
+  // K/V write bits of tokens appended by decode steps (same per-token shape
+  // as prefill writes, so write cost doesn't depend on the scheduling path).
+  std::uint64_t decode_write_bits = 0;
+
+  // Latency proxy: DRAM cycles to serve one request's one *decode* step (all
+  // its layers/heads), under contention from the co-scheduled batch —
+  // including any prefill chunks sharing the step.
   std::vector<double> step_cycle_samples;
   std::uint64_t dram_cycles = 0;  // total simulated DRAM clock
+
+  // Request-level latency (populated when simulate_dram is on): arrival ->
+  // first generated token (TTFT) and arrival -> retirement, in DRAM cycles.
+  // Queue wait is visible here — the DRAM clock advances while a queued
+  // request waits on other requests' traffic.
+  std::vector<double> ttft_cycle_samples;
+  std::vector<double> request_latency_cycle_samples;
+  // Arrival -> first admission, in engine steps (always recorded).
+  std::vector<double> queue_wait_step_samples;
 
   std::size_t pool_peak_pages = 0;
   std::uint64_t pool_reuses = 0;
@@ -82,8 +137,18 @@ struct FleetMetrics {
   double p50_step_cycles() const;
   double p95_step_cycles() const;
   double p99_step_cycles() const;
+  double p50_ttft_cycles() const;
+  double p95_ttft_cycles() const;
+  double p99_ttft_cycles() const;
+  double p50_request_latency_cycles() const;
+  double p95_request_latency_cycles() const;
+  double p99_request_latency_cycles() const;
+  double avg_queue_wait_steps() const;
+  double prefill_bytes() const { return static_cast<double>(prefill_bits) / 8.0; }
   // Generation throughput under the memory-bound proxy (1 GHz DRAM clock).
+  // The cycle denominator includes prefill traffic: prompts are not free.
   double tokens_per_second(double dram_clock_hz = 1e9) const;
+  // DRAM bytes moved per generated token, prefill writes included.
   double bytes_per_token() const;
 };
 
@@ -113,15 +178,26 @@ class ServeEngine {
  private:
   struct Slot;  // per-running-request paged cache + pruning state
 
+  // One request's share of a step's DRAM traffic; decode distinguishes
+  // decode-step latency samples from prefill-only transfers.
+  struct StepXfer {
+    std::size_t request = 0;
+    bool decode = false;
+  };
+
   std::size_t pages_for_prefill(const Request& request) const;
+  // Element width for pricing K/V writes — the active backend's quant width,
+  // so write traffic is priced consistently with that backend's read stats.
+  int kv_bits_per_element() const;
   void admit_due_requests();
-  bool ensure_append_pages(std::size_t request);
-  void prefill(std::size_t request);
+  void ensure_pages_for_append(std::size_t request, std::size_t tokens);
+  void begin_prefill(std::size_t request);
+  void prefill_chunk(std::size_t request, std::vector<std::uint64_t>* step_bits);
   void decode_one(std::size_t request, std::vector<std::uint64_t>* step_bits);
   void preempt_for_pressure(std::size_t needy);
   void retire(std::size_t request);
   void simulate_step_dram(const std::vector<std::uint64_t>& step_bits,
-                          const std::vector<std::size_t>& decoded);
+                          const std::vector<StepXfer>& active);
 
   ServeConfig config_;
   PagedKvPool pool_;

@@ -53,6 +53,12 @@ struct DecodeStream {
 
   std::size_t total_tokens() const { return prompt_len + decode_len; }
 
+  // K/V write traffic to append one token position across every (layer,
+  // head): 2 planes (K and V) x head_dim elements x bits_per_element x
+  // n_layer x n_head. This is the per-token prompt-write shape the serve
+  // engine charges to the DRAM proxy during (re)prefill.
+  std::uint64_t token_write_bits(int bits_per_element) const;
+
   const HeadStream& head(int layer, int h) const {
     return heads[static_cast<std::size_t>(layer) * n_head + h];
   }

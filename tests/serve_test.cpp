@@ -123,6 +123,40 @@ TEST(PagedSequence, PartialTailPageIsNeverFreed) {
   EXPECT_FLOAT_EQ(view.key(4)[0], 9.0f);
 }
 
+TEST(PagedSequence, SweptFullTailPageThenAppendKeepsIndicesConsistent) {
+  // A fully-dead page sitting at an exact page boundary (the tail page is
+  // full, so sweep may free it) must leave the page table, pages_held, and
+  // the view's slot mapping consistent when the sequence then appends past
+  // the hole.
+  PagedKvPool pool({8, 4, 2});
+  PagedSequence seq(&pool);
+  for (int t = 0; t < 8; ++t) {  // exactly 2 full pages
+    ASSERT_TRUE(seq.append(ramp(2, static_cast<float>(t)), ramp(2, 0.0f)));
+  }
+  for (std::size_t t = 4; t < 8; ++t) seq.mark_dead(t);
+  EXPECT_EQ(seq.sweep(), 1u);  // page 1 is full AND fully dead -> freed
+  EXPECT_EQ(seq.pages_held(), 1u);
+  EXPECT_EQ(pool.pages_in_use(), 1u);
+
+  // Append past the swept boundary: token 8 opens logical page 2.
+  ASSERT_TRUE(seq.append(ramp(2, 8.0f), ramp(2, 0.0f)));
+  EXPECT_EQ(seq.appended_tokens(), 9u);
+  EXPECT_EQ(seq.pages_held(), 2u);
+  EXPECT_EQ(pool.pages_in_use(), 2u);
+
+  std::vector<std::size_t> ids;
+  const auto view = seq.view(&ids);
+  const std::vector<std::size_t> expected_ids{0, 1, 2, 3, 8};
+  EXPECT_EQ(ids, expected_ids);
+  ASSERT_EQ(view.key_pages.size(), 2u);  // swept page absent from the table
+  // Tokens 0..3 map into view page 0; token 8 is slot 0 of view page 1.
+  const std::vector<std::size_t> expected_slots{0, 1, 2, 3, 4};
+  EXPECT_EQ(view.slots, expected_slots);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_FLOAT_EQ(view.key(i)[0], static_cast<float>(ids[i]));
+  }
+}
+
 TEST(PagedKvCache, FragmentationCountsDeadAndTailSlack) {
   PagedKvPool pool({16, 4, 2});
   PagedKvCache cache(&pool, 1, 1);
@@ -399,6 +433,11 @@ TEST(ServeEngine, PreemptionUnderPoolPressureStillFinishesCorrectly) {
   const auto& metrics = engine.metrics();
   EXPECT_EQ(metrics.requests_retired, 12u);
   EXPECT_GT(metrics.preemptions, 0u);
+  // Re-prefill after preemption replays the prompt (plus already-generated
+  // tokens), so charged prefill tokens exceed the one-shot prompt total.
+  std::size_t prompt_total = 0;
+  for (const auto& event : trace) prompt_total += event.prompt_len;
+  EXPECT_GT(metrics.prefill_tokens, prompt_total);
   // Preempted-and-recomputed requests still satisfy the exact-match bound.
   expect_outputs_match_exact(engine, 5e-3);
 }
@@ -446,6 +485,192 @@ TEST(ServeEngine, SpAttenBackendRunsToCompletion) {
   engine.run();
   EXPECT_EQ(engine.metrics().requests_retired, 8u);
   EXPECT_GT(engine.metrics().stats.total_bits_fetched(), 0u);
+}
+
+// ---- DRAM address layout ----------------------------------------------------
+
+TEST(DramLayout, StreamAddressesStayWithinTheRequestRegion) {
+  const std::uint64_t granule = 32;
+  const std::uint64_t per_region = dram_layout::kRegionBytes / granule;
+  // Offsets far past the region size (a long request) must wrap in place
+  // instead of walking into request 1's address range (the aliasing bug:
+  // dram_offset_ grew unboundedly past the 64 MiB region).
+  const std::uint64_t offsets[] = {0, per_region - 1, per_region,
+                                   3 * per_region + 17, std::uint64_t{1} << 40};
+  for (const std::uint64_t off : offsets) {
+    const auto addr = dram_layout::stream_addr(0, off, granule);
+    EXPECT_GE(addr, dram_layout::region_base(0)) << "offset " << off;
+    EXPECT_LT(addr, dram_layout::region_base(1)) << "offset " << off;
+  }
+  // Wrap is positional: offset per_region + 5 lands where offset 5 does.
+  EXPECT_EQ(dram_layout::stream_addr(2, per_region + 5, granule),
+            dram_layout::region_base(2) + 5 * granule);
+}
+
+// ---- chunked prefill --------------------------------------------------------
+
+TEST(ServeEngine, ChunkedPrefillChargesTrafficAndDelaysFirstToken) {
+  Rng rng(404);
+  const auto trace = concurrent_trace(4, rng, 32, 32, 8, 8);
+  ServeConfig config = acceptance_config();
+  config.capture_outputs = false;
+  config.prefill_chunk_tokens = 16;  // 32-token prompts -> 2 prefill steps
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  const auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests_retired, 4u);
+  // Prefill is no longer free: every prompt token's K/V write was charged.
+  EXPECT_EQ(metrics.prefill_tokens, 4u * 32u);
+  const std::uint64_t per_token =
+      engine.requests()[0].stream.token_write_bits(
+          config.picker.quant.total_bits);
+  EXPECT_EQ(metrics.prefill_bits, 4u * 32u * per_token);
+
+  ASSERT_EQ(metrics.ttft_cycle_samples.size(), 4u);
+  ASSERT_EQ(metrics.request_latency_cycle_samples.size(), 4u);
+  EXPECT_GT(metrics.p50_ttft_cycles(), 0.0);
+  EXPECT_GE(metrics.p99_ttft_cycles(), metrics.p50_ttft_cycles());
+  EXPECT_GE(metrics.p99_request_latency_cycles(),
+            metrics.p50_request_latency_cycles());
+
+  for (const auto& request : engine.requests()) {
+    // Two prefill steps before the first decode step.
+    EXPECT_EQ(request.first_token_step, request.admit_step + 2);
+    EXPECT_EQ(request.prefill_bits, 32u * per_token);
+    EXPECT_GT(request.ttft_cycles(), 0u);
+    EXPECT_GE(request.latency_cycles(), request.ttft_cycles());
+  }
+}
+
+TEST(ServeEngine, MonolithicPrefillLandsInOneCostedStep) {
+  Rng rng(404);
+  const auto trace = concurrent_trace(4, rng, 32, 32, 8, 8);
+  ServeConfig config = acceptance_config();
+  config.capture_outputs = false;
+  config.prefill_chunk_tokens = 0;  // monolithic: whole prompt in one step
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  EXPECT_EQ(engine.metrics().requests_retired, 4u);
+  EXPECT_EQ(engine.metrics().prefill_tokens, 4u * 32u);
+  EXPECT_GT(engine.metrics().prefill_bits, 0u);
+  for (const auto& request : engine.requests()) {
+    EXPECT_EQ(request.first_token_step, request.admit_step + 1);
+  }
+}
+
+TEST(ServeEngine, MaxPrefillSlotsStaggerAdmission) {
+  Rng rng(7);
+  const auto trace = concurrent_trace(3, rng, 16, 16, 4, 4);
+  ServeConfig config = acceptance_config();
+  config.capture_outputs = false;
+  config.simulate_dram = false;
+  config.prefill_chunk_tokens = 4;  // 16-token prompts -> 4 prefill steps
+  config.max_prefill = 1;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  EXPECT_EQ(engine.metrics().requests_retired, 3u);
+  // One prefill slot: each admission waits for the previous request to
+  // finish its 4-step prefill.
+  std::vector<std::size_t> admit_steps;
+  for (const auto& request : engine.requests()) {
+    admit_steps.push_back(request.admit_step);
+  }
+  std::sort(admit_steps.begin(), admit_steps.end());
+  EXPECT_EQ(admit_steps, (std::vector<std::size_t>{0, 4, 8}));
+  EXPECT_GT(engine.metrics().avg_queue_wait_steps(), 0.0);
+}
+
+TEST(ServeEngine, SameStepAdmissionsDoNotOvercommitThePool) {
+  // Chunked prefill allocates pages lazily, so admission must reserve the
+  // outstanding demand of already-admitted prefills: two requests that
+  // together exceed the pool must be admitted sequentially, not both at
+  // step 0 followed by mid-prefill preemption churn.
+  Rng rng(55);
+  const auto trace = concurrent_trace(2, rng, 32, 32, 4, 4);
+  ServeConfig config = acceptance_config();
+  config.capture_outputs = false;
+  config.simulate_dram = false;
+  config.prefill_chunk_tokens = 8;
+  // Each request needs ceil(33/8) * 2 heads = 10 pages; only one fits.
+  config.pool_pages = 16;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  EXPECT_EQ(engine.metrics().requests_retired, 2u);
+  EXPECT_EQ(engine.metrics().preemptions, 0u);
+  EXPECT_NE(engine.requests()[0].admit_step, engine.requests()[1].admit_step);
+}
+
+TEST(ServeEngine, ZeroDecodeLenRetiresAtArrivalWithoutTraffic) {
+  wl::ArrivalEvent empty;
+  empty.request_id = 0;
+  empty.step = 0;
+  empty.prompt_len = 12;
+  empty.decode_len = 0;  // nothing to generate
+  empty.stream_seed = 1;
+  wl::ArrivalEvent normal;
+  normal.request_id = 1;
+  normal.step = 0;
+  normal.prompt_len = 8;
+  normal.decode_len = 4;
+  normal.stream_seed = 2;
+
+  ServeConfig config = acceptance_config();
+  ServeEngine engine(config);
+  engine.submit_trace({empty, normal});
+  engine.run();
+
+  const auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests_retired, 2u);
+  // The zero-length request generated no spurious token and moved no bytes.
+  const Request& req = engine.requests()[0];
+  EXPECT_EQ(req.state, RequestState::finished);
+  EXPECT_EQ(req.generated, 0u);
+  EXPECT_TRUE(req.outputs.empty());
+  EXPECT_EQ(req.prefill_bits, 0u);
+  EXPECT_EQ(req.dram_cycles, 0u);
+  EXPECT_EQ(req.stats.total_bits_fetched(), 0u);
+  EXPECT_EQ(metrics.tokens_generated, 4u);
+}
+
+TEST(ServeEngine, CapturedViewTokensReflectPostReclaimLiveness) {
+  // With persistence_window = 1 a token pruned this step is reclaimed this
+  // step, so the post-reclaim live set must equal the kept set exactly. The
+  // stale pre-reclaim capture made view_tokens a strict superset whenever
+  // anything was pruned.
+  Rng rng(123);
+  const auto trace = concurrent_trace(4, rng, 16, 32, 8, 16);
+  ServeConfig config = acceptance_config();
+  config.persistence_window = 1;
+  config.simulate_dram = false;
+  ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  const auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests_retired, 4u);
+  ASSERT_GT(metrics.stats.tokens_total, metrics.stats.tokens_kept)
+      << "scenario must actually prune for this regression to bite";
+  for (const auto& request : engine.requests()) {
+    for (const auto& step : request.outputs) {
+      for (std::size_t inst = 0; inst < step.view_tokens.size(); ++inst) {
+        // kept_tokens follows the picker's (out-of-order) decision order;
+        // compare as sets.
+        auto kept = step.kept_tokens[inst];
+        std::sort(kept.begin(), kept.end());
+        EXPECT_EQ(step.view_tokens[inst], kept)
+            << "request " << request.event.request_id << " pos "
+            << step.position << " inst " << inst;
+      }
+    }
+  }
 }
 
 TEST(ServeEngine, FragmentationReportedWithinUnitInterval) {
