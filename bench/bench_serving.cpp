@@ -1,11 +1,14 @@
 // Serving-fleet benchmark: runs the continuous-batching ServeEngine over a
 // fixed Poisson trace under the exact backend and Token-Picker at the paper's
 // operating thresholds, plus a bursty-trace chunked-vs-monolithic prefill
-// comparison, and emits BENCH_serving.json — the perf trajectory seed for the
-// serving subsystem (tokens/s under the 1 GHz DRAM-cycle proxy, bytes/token
-// including prompt writes, p50/p95/p99 decode-step latency, TTFT and
-// request-latency percentiles, queue wait, prefill bytes, pool
-// peak/reclaim counters).
+// comparison and a QoS priority-mix scenario pitting the three scheduling
+// policies (fifo_youngest_first / priority_slack / cost_aware_victim)
+// against the same offered load, and emits BENCH_serving.json — the perf
+// trajectory seed for the serving subsystem (tokens/s under the 1 GHz
+// DRAM-cycle proxy, bytes/token including prompt writes, p50/p95/p99
+// decode-step latency, TTFT and request-latency percentiles, queue wait,
+// prefill bytes, pool peak/reclaim counters, and per-priority-class
+// latency/SLO-attainment breakdowns).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -126,6 +129,89 @@ void emit_rows(FILE* out, const std::vector<BenchRow>& rows) {
   }
 }
 
+// ---- QoS priority-mix scenario ----------------------------------------------
+
+wl::PriorityMixParams qos_mix() {
+  wl::PriorityMixParams mix;
+  mix.arrivals.kind = wl::ArrivalKind::bursty;
+  mix.arrivals.rate = 0.5;
+  mix.arrivals.burst_factor = 6.0;
+  // interactive: short, tight TTFT/latency deadlines in engine steps.
+  mix.mix[0] = wl::PriorityClassMix{0.5, 16, 48, 16, 48, 24, 320};
+  // batch: long prompts, loose deadlines.
+  mix.mix[1] = wl::PriorityClassMix{0.3, 96, 224, 24, 64, 128, 1024};
+  // best_effort: no SLO at all.
+  mix.mix[2] = wl::PriorityClassMix{0.2, 32, 96, 16, 48, 0, 0};
+  return mix;
+}
+
+BenchRow run_policy(serve::PolicyKind policy,
+                    const std::vector<wl::ArrivalEvent>& trace) {
+  serve::ServeConfig config =
+      bench_config(serve::BackendKind::token_picker, 1e-3, true, 16);
+  config.max_batch = 10;
+  config.pool_pages = 384;  // tight: preemption policy actually decides
+  config.policy = policy;
+  config.policy_params.aging_steps = 96;  // starvation guard for best_effort
+  return run_one(serve::policy_kind_name(policy), config, trace);
+}
+
+void print_qos_table(const std::vector<BenchRow>& rows) {
+  TablePrinter table({"policy", "class", "n", "TTFT p50", "TTFT p99",
+                      "lat p99", "SLO ttft", "SLO lat", "q-wait", "preempt"});
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
+      const auto& cls = row.metrics.per_class[c];
+      table.add_row({row.name, wl::priority_name(static_cast<wl::Priority>(c)),
+                     std::to_string(cls.submitted),
+                     TablePrinter::fmt(cls.p50_ttft_cycles(), 0),
+                     TablePrinter::fmt(cls.p99_ttft_cycles(), 0),
+                     TablePrinter::fmt(cls.p99_latency_cycles(), 0),
+                     TablePrinter::fmt_pct(cls.slo_ttft_attainment()),
+                     TablePrinter::fmt_pct(cls.slo_latency_attainment()),
+                     TablePrinter::fmt(cls.avg_queue_wait_steps(), 1),
+                     std::to_string(cls.preemptions)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void emit_qos_rows(FILE* out, const std::vector<BenchRow>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = rows[i].metrics;
+    std::fprintf(
+        out,
+        "    {\"policy\": \"%s\", \"tokens_per_s\": %s, "
+        "\"p99_step_cycles\": %s, \"preemptions\": %llu, "
+        "\"pool_pages\": %zu, \"peak_pages\": %zu, \"per_class\": {",
+        rows[i].name.c_str(), json_escape_number(m.tokens_per_second()).c_str(),
+        json_escape_number(m.p99_step_cycles()).c_str(),
+        static_cast<unsigned long long>(m.preemptions), rows[i].pool_pages,
+        rows[i].peak_pages);
+    for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
+      const auto& cls = m.per_class[c];
+      std::fprintf(
+          out,
+          "\"%s\": {\"submitted\": %zu, \"retired\": %zu, "
+          "\"preemptions\": %llu, \"p50_ttft_cycles\": %s, "
+          "\"p99_ttft_cycles\": %s, \"p50_latency_cycles\": %s, "
+          "\"p99_latency_cycles\": %s, \"avg_queue_wait_steps\": %s, "
+          "\"slo_ttft_attainment\": %s, \"slo_latency_attainment\": %s}%s",
+          wl::priority_name(static_cast<wl::Priority>(c)), cls.submitted,
+          cls.retired, static_cast<unsigned long long>(cls.preemptions),
+          json_escape_number(cls.p50_ttft_cycles()).c_str(),
+          json_escape_number(cls.p99_ttft_cycles()).c_str(),
+          json_escape_number(cls.p50_latency_cycles()).c_str(),
+          json_escape_number(cls.p99_latency_cycles()).c_str(),
+          json_escape_number(cls.avg_queue_wait_steps()).c_str(),
+          json_escape_number(cls.slo_ttft_attainment()).c_str(),
+          json_escape_number(cls.slo_latency_attainment()).c_str(),
+          c + 1 < wl::kPriorityCount ? ", " : "");
+    }
+    std::fprintf(out, "}}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -193,6 +279,30 @@ int main() {
           ? "chunked wins"
           : "monolithic wins");
 
+  // QoS priority-mix: identical offered load (same trace) under the three
+  // scheduling policies. The QoS-aware policies shield the interactive class
+  // from admission queueing behind long batch prompts and from preemption —
+  // its p99 latency must come in strictly below FIFO's.
+  Rng qos_rng(41);
+  const auto qos_trace = wl::make_priority_mix_trace(qos_mix(), 40, qos_rng);
+  std::vector<BenchRow> qos_rows;
+  qos_rows.push_back(
+      run_policy(serve::PolicyKind::fifo_youngest_first, qos_trace));
+  qos_rows.push_back(run_policy(serve::PolicyKind::priority_slack, qos_trace));
+  qos_rows.push_back(
+      run_policy(serve::PolicyKind::cost_aware_victim, qos_trace));
+  std::printf("QoS priority mix (40 requests, bursty), per-class breakdown:\n");
+  print_qos_table(qos_rows);
+  const double fifo_p99 =
+      qos_rows[0].metrics.per_class[0].p99_latency_cycles();
+  for (std::size_t i = 1; i < qos_rows.size(); ++i) {
+    const double p99 = qos_rows[i].metrics.per_class[0].p99_latency_cycles();
+    std::printf("interactive p99 latency: %s %.0f vs fifo %.0f cycles (%s)\n",
+                qos_rows[i].name.c_str(), p99, fifo_p99,
+                p99 < fifo_p99 ? "QoS policy wins" : "fifo wins");
+  }
+  std::printf("\n");
+
   FILE* out = std::fopen("BENCH_serving.json", "w");
   if (!out) {
     std::fprintf(stderr, "cannot open BENCH_serving.json for writing\n");
@@ -214,6 +324,12 @@ int main() {
                "\"rate\": 0.5, \"burst_factor\": 8, \"prompt\": [96, 256], "
                "\"decode\": [16, 48], \"results\": [\n");
   emit_rows(out, prefill_rows);
+  std::fprintf(out, "  ]},\n");
+  std::fprintf(out,
+               "  \"qos_scheduling\": {\"arrivals\": \"bursty\", \"rate\": "
+               "0.5, \"burst_factor\": 6, \"requests\": 40, \"max_batch\": 10, "
+               "\"pool_pages\": 384, \"aging_steps\": 96, \"results\": [\n");
+  emit_qos_rows(out, qos_rows);
   std::fprintf(out, "  ]}\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_serving.json\n");

@@ -5,7 +5,9 @@
 // exact / Token-Picker attention, and reports fleet metrics (tokens/s under
 // the memory-bound DRAM-cycle proxy, bytes/token including prompt writes,
 // p50/p95/p99 decode-step latency, TTFT, queue wait, pool occupancy and
-// pruning-driven page reclamation).
+// pruning-driven page reclamation), then reruns a mixed-QoS trace under the
+// three scheduling policies to show what priority classes + SLO-aware
+// admission + class-protecting preemption buy the interactive tier.
 //
 // The closed-form OPT-6.7B traffic table the old version of this example
 // printed is kept at the end as an analytic cross-check: the measured KV
@@ -109,6 +111,65 @@ int main() {
   add("ToPick thr 1e-3", topick_noreclaim);
   add("ToPick + reclaim", topick);
   std::printf("%s\n", table.render().c_str());
+
+  // QoS scheduling: the same mixed-priority offered load under each policy.
+  // Interactive requests carry tight engine-step SLOs; batch brings the long
+  // prompts; best_effort scavenges. Under FIFO the interactive tier queues
+  // behind batch prompts and eats youngest-first preemptions; the QoS
+  // policies admit it first and shield it from eviction.
+  {
+    wl::PriorityMixParams mix;
+    mix.arrivals.kind = wl::ArrivalKind::bursty;
+    mix.arrivals.rate = 0.5;
+    mix.arrivals.burst_factor = 6.0;
+    mix.mix[0] = wl::PriorityClassMix{0.5, 16, 48, 16, 48, 24, 320};
+    mix.mix[1] = wl::PriorityClassMix{0.3, 96, 192, 24, 48, 128, 1024};
+    mix.mix[2] = wl::PriorityClassMix{0.2, 32, 96, 16, 48, 0, 0};
+    Rng rng(13);
+    const auto qos_trace = wl::make_priority_mix_trace(mix, 24, rng);
+
+    std::printf(
+        "QoS scheduling: 24 mixed-priority requests (interactive/batch/"
+        "best_effort), same trace under each policy, tight 320-page pool:\n");
+    TablePrinter qos({"policy", "class", "TTFT p50", "lat p99", "SLO ttft",
+                      "q-wait", "preempt"});
+    double fifo_p99 = 0.0, slack_p99 = 0.0;
+    for (const auto policy : {serve::PolicyKind::fifo_youngest_first,
+                              serve::PolicyKind::priority_slack,
+                              serve::PolicyKind::cost_aware_victim}) {
+      serve::ServeConfig config = base_config();
+      config.backend = serve::BackendKind::token_picker;
+      config.reclaim = true;
+      config.max_batch = 10;
+      config.pool_pages = 320;
+      config.policy = policy;
+      config.policy_params.aging_steps = 96;
+      serve::ServeEngine engine(config);
+      engine.submit_trace(qos_trace);
+      engine.run();
+      const auto& m = engine.metrics();
+      for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
+        const auto& cls = m.per_class[c];
+        if (cls.submitted == 0) continue;
+        qos.add_row({std::string(serve::policy_kind_name(policy)),
+                     wl::priority_name(static_cast<wl::Priority>(c)),
+                     TablePrinter::fmt(cls.p50_ttft_cycles(), 0),
+                     TablePrinter::fmt(cls.p99_latency_cycles(), 0),
+                     TablePrinter::fmt_pct(cls.slo_ttft_attainment()),
+                     TablePrinter::fmt(cls.avg_queue_wait_steps(), 1),
+                     std::to_string(cls.preemptions)});
+      }
+      const double p99 =
+          m.for_class(wl::Priority::interactive).p99_latency_cycles();
+      if (policy == serve::PolicyKind::fifo_youngest_first) fifo_p99 = p99;
+      if (policy == serve::PolicyKind::priority_slack) slack_p99 = p99;
+    }
+    std::printf("%s\n", qos.render().c_str());
+    std::printf(
+        "Interactive p99 latency %.0f -> %.0f cycles (%.2fx) just by "
+        "scheduling the same bytes in QoS order.\n\n",
+        fifo_p99, slack_p99, slack_p99 > 0 ? fifo_p99 / slack_p99 : 0.0);
+  }
 
   const double fleet_reduction = topick.metrics.stats.total_reduction();
   const double speedup = exact.metrics.dram_cycles > 0

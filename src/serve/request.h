@@ -45,6 +45,14 @@ struct Request {
   std::size_t finish_step = 0;
   int preemptions = 0;
 
+  // Queue-wait bookkeeping for the scheduler's aging guard: the step the
+  // current queued stint began (arrival step, or the preemption step after
+  // an eviction) and the steps accumulated over *completed* queued stints.
+  // Aging must see time spent queued only — not time spent running — or a
+  // long-running preempted request would re-enter pre-promoted.
+  std::size_t enqueue_step = 0;
+  std::size_t queued_steps_accum = 0;
+
   // Chunked-prefill cursor: tokens the current (re)prefill must append
   // (prompt plus, after preemption, the already-generated replay) and how
   // many of them have been appended so far.
@@ -67,6 +75,7 @@ struct Request {
   std::vector<StepOutput> outputs;
 
   bool done() const { return generated >= event.decode_len; }
+  wl::Priority priority() const { return event.priority; }
   // 0 until first admission sets admit_step (admit_step defaults to 0, which
   // can sit below event.step — don't underflow for not-yet-admitted requests).
   std::size_t queue_wait_steps() const {
@@ -82,8 +91,11 @@ struct Request {
   }
 };
 
-// FIFO admission queue; preempted requests re-enter at the front so they
-// regain their pages before new arrivals claim them.
+// FIFO-ordered admission queue; preempted requests re-enter at the front so
+// FIFO position already encodes "preempted before queued arrivals". The
+// scheduling policy (scheduling_policy.h) may admit from any position —
+// position is exposed as AdmissionCandidate::queue_pos and the pick is
+// removed with erase_at (erase_at(0) is the FIFO front-pop).
 class RequestQueue {
  public:
   void push_arrival(std::size_t request) { queue_.push_back(request); }
@@ -91,8 +103,10 @@ class RequestQueue {
 
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
-  std::size_t front() const { return queue_.front(); }
-  void pop() { queue_.pop_front(); }
+  std::size_t at(std::size_t pos) const { return queue_[pos]; }
+  void erase_at(std::size_t pos) {
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
 
  private:
   std::deque<std::size_t> queue_;

@@ -1,0 +1,142 @@
+#include "serve/scheduling_policy.h"
+
+#include "common/require.h"
+
+namespace topick::serve {
+
+namespace {
+
+// Queue-wait-aged class value: every `aging_steps` waited promotes the
+// request one class; may go negative (outranks every fresh class — the
+// starvation guard's escape hatch).
+long long effective_class(wl::Priority priority, std::size_t wait_steps,
+                          std::size_t aging_steps) {
+  long long cls = static_cast<long long>(priority);
+  if (aging_steps > 0) cls -= static_cast<long long>(wait_steps / aging_steps);
+  return cls;
+}
+
+}  // namespace
+
+std::size_t FifoYoungestFirst::pick_admission(
+    std::span<const AdmissionCandidate> queued) const {
+  require(!queued.empty(), "pick_admission: empty queue");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queued.size(); ++i) {
+    if (queued[i].queue_pos < queued[best].queue_pos) best = i;
+  }
+  return best;
+}
+
+bool FifoYoungestFirst::pick_victim(
+    std::span<const VictimCandidate> candidates, wl::Priority /*needy*/,
+    std::size_t* victim) const {
+  require(!candidates.empty(), "pick_victim: empty candidate list");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].admit_order > candidates[best].admit_order) best = i;
+  }
+  *victim = best;
+  return true;
+}
+
+std::size_t PrioritySlack::pick_admission(
+    std::span<const AdmissionCandidate> queued) const {
+  require(!queued.empty(), "pick_admission: empty queue");
+  const auto aging = params_.aging_steps;
+  // Lexicographic: aged class, then TTFT-SLO slack (tightest deadline
+  // first; no-SLO sorts last), then FIFO position.
+  auto before = [&](const AdmissionCandidate& a, const AdmissionCandidate& b) {
+    const long long ca = effective_class(a.priority, a.wait_steps, aging);
+    const long long cb = effective_class(b.priority, b.wait_steps, aging);
+    if (ca != cb) return ca < cb;
+    if (a.slack_steps != b.slack_steps) return a.slack_steps < b.slack_steps;
+    return a.queue_pos < b.queue_pos;
+  };
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queued.size(); ++i) {
+    if (before(queued[i], queued[best])) best = i;
+  }
+  return best;
+}
+
+bool PrioritySlack::pick_victim(std::span<const VictimCandidate> candidates,
+                                wl::Priority needy,
+                                std::size_t* victim) const {
+  require(!candidates.empty(), "pick_victim: empty candidate list");
+  // Eligible: same or lower class than the needy request — a higher class is
+  // never preempted for a lower one. Evict the lowest class first; within a
+  // class, the youngest (cheapest lost progress, matching the baseline).
+  bool found = false;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].priority < needy) continue;
+    if (!found ||
+        candidates[i].priority > candidates[best].priority ||
+        (candidates[i].priority == candidates[best].priority &&
+         candidates[i].admit_order > candidates[best].admit_order)) {
+      best = i;
+      found = true;
+    }
+  }
+  if (found) *victim = best;
+  return found;
+}
+
+bool CostAwareVictim::pick_victim(std::span<const VictimCandidate> candidates,
+                                  wl::Priority needy,
+                                  std::size_t* victim) const {
+  require(!candidates.empty(), "pick_victim: empty candidate list");
+  // Same class protection as PrioritySlack, but within the lowest eligible
+  // class rank victims by replay cost per page refunded: replay_bits /
+  // pages_held ascending (compared cross-multiplied to stay in integers),
+  // i.e. the cheapest recompute-on-resume per pool page freed goes first.
+  // Ties fall back to youngest.
+  auto cheaper = [](const VictimCandidate& a, const VictimCandidate& b) {
+    const std::uint64_t pa = a.pages_held > 0 ? a.pages_held : 1;
+    const std::uint64_t pb = b.pages_held > 0 ? b.pages_held : 1;
+    const std::uint64_t lhs = a.replay_bits * pb;
+    const std::uint64_t rhs = b.replay_bits * pa;
+    if (lhs != rhs) return lhs < rhs;
+    return a.admit_order > b.admit_order;
+  };
+  bool found = false;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].priority < needy) continue;
+    if (!found ||
+        candidates[i].priority > candidates[best].priority ||
+        (candidates[i].priority == candidates[best].priority &&
+         cheaper(candidates[i], candidates[best]))) {
+      best = i;
+      found = true;
+    }
+  }
+  if (found) *victim = best;
+  return found;
+}
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::fifo_youngest_first: return "fifo_youngest_first";
+    case PolicyKind::priority_slack: return "priority_slack";
+    case PolicyKind::cost_aware_victim: return "cost_aware_victim";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(
+    PolicyKind kind, const PrioritySlackParams& params) {
+  switch (kind) {
+    case PolicyKind::fifo_youngest_first:
+      return std::make_unique<FifoYoungestFirst>();
+    case PolicyKind::priority_slack:
+      return std::make_unique<PrioritySlack>(params);
+    case PolicyKind::cost_aware_victim:
+      return std::make_unique<CostAwareVictim>(params);
+  }
+  require(false, "make_policy: unknown PolicyKind");
+  return nullptr;
+}
+
+}  // namespace topick::serve

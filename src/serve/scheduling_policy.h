@@ -1,0 +1,128 @@
+// Pluggable QoS scheduling for the continuous-batching runtime.
+//
+// ServeEngine's admission loop and preemption path both delegate to a
+// SchedulingPolicy: the engine snapshots the queued/running sets into plain
+// candidate structs (so policies are pure, deterministic functions that unit
+// tests can drive without an engine) and the policy returns which request to
+// admit next, or which running request to sacrifice under pool pressure.
+//
+// Three policies ship:
+//   * FifoYoungestFirst — the PR 1/2 baseline, bit-for-bit: admit strictly in
+//     queue order (preempted requests re-enter at the front), evict the most
+//     recently admitted request, priority classes ignored.
+//   * PrioritySlack — admit by priority class, then least TTFT-SLO slack,
+//     then queue order; evict the lowest class first (youngest within a
+//     class) and *never* preempt a higher class for a lower one — when every
+//     running request outranks the needy one, the needy request yields
+//     instead (self-preemption in the engine). An optional aging knob
+//     promotes starved queued requests one class per `aging_steps` waited.
+//   * CostAwareVictim — PrioritySlack admission, but within the lowest
+//     running class the victim is the request with the cheapest
+//     recompute-on-resume replay, scored as prefill-replay write bits per
+//     resident page freed (cheap replay + big page refund first).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "workload/arrivals.h"
+
+namespace topick::serve {
+
+// One queued request, snapshotted by the engine at each admission pick.
+struct AdmissionCandidate {
+  static constexpr long long kNoSlack = std::numeric_limits<long long>::max();
+
+  std::size_t request = 0;  // engine request index
+  wl::Priority priority = wl::Priority::best_effort;
+  // Position in the FIFO queue. Arrivals append; preempted requests re-enter
+  // at position 0, so FIFO order already encodes "preempted first".
+  std::size_t queue_pos = 0;
+  std::size_t wait_steps = 0;  // engine steps spent queued so far
+  // TTFT-SLO slack in engine steps (deadline - now; negative = already
+  // blown). kNoSlack when the request carries no TTFT SLO.
+  long long slack_steps = kNoSlack;
+};
+
+// One running request eligible for preemption. The engine never includes the
+// needy request itself, and never calls pick_victim with an empty list.
+struct VictimCandidate {
+  std::size_t request = 0;
+  wl::Priority priority = wl::Priority::best_effort;
+  std::size_t admit_order = 0;   // position in the running list; older = smaller
+  std::size_t pages_held = 0;    // pool pages a preemption would free
+  std::uint64_t replay_bits = 0; // K/V write bits to replay prompt+generated on resume
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual std::string_view name() const = 0;
+
+  // Index into `queued` of the request to try admitting next. Head-of-line
+  // blocking applies to the pick: if it does not fit (pool pages / slots),
+  // admission stops for this step — the policy is never asked to skip.
+  virtual std::size_t pick_admission(
+      std::span<const AdmissionCandidate> queued) const = 0;
+
+  // Index into `candidates` of the preemption victim so a request of class
+  // `needy` can make progress. Returns false to refuse — no candidate may be
+  // sacrificed for `needy` — in which case the engine self-preempts the
+  // needy request.
+  virtual bool pick_victim(std::span<const VictimCandidate> candidates,
+                           wl::Priority needy, std::size_t* victim) const = 0;
+};
+
+class FifoYoungestFirst final : public SchedulingPolicy {
+ public:
+  std::string_view name() const override { return "fifo_youngest_first"; }
+  std::size_t pick_admission(
+      std::span<const AdmissionCandidate> queued) const override;
+  bool pick_victim(std::span<const VictimCandidate> candidates,
+                   wl::Priority needy, std::size_t* victim) const override;
+};
+
+struct PrioritySlackParams {
+  // Starvation guard: a queued request is promoted one class per
+  // `aging_steps` waited (0 = strict priority, no aging). Promotion is not
+  // clamped at the top class, so a long-starved best_effort request
+  // eventually outranks even fresh interactive traffic and its SLO slack.
+  std::size_t aging_steps = 0;
+};
+
+class PrioritySlack : public SchedulingPolicy {
+ public:
+  explicit PrioritySlack(PrioritySlackParams params = {}) : params_(params) {}
+
+  std::string_view name() const override { return "priority_slack"; }
+  std::size_t pick_admission(
+      std::span<const AdmissionCandidate> queued) const override;
+  bool pick_victim(std::span<const VictimCandidate> candidates,
+                   wl::Priority needy, std::size_t* victim) const override;
+
+  const PrioritySlackParams& params() const { return params_; }
+
+ private:
+  PrioritySlackParams params_;
+};
+
+class CostAwareVictim final : public PrioritySlack {
+ public:
+  using PrioritySlack::PrioritySlack;
+
+  std::string_view name() const override { return "cost_aware_victim"; }
+  bool pick_victim(std::span<const VictimCandidate> candidates,
+                   wl::Priority needy, std::size_t* victim) const override;
+};
+
+enum class PolicyKind { fifo_youngest_first, priority_slack, cost_aware_victim };
+
+const char* policy_kind_name(PolicyKind kind);
+std::unique_ptr<SchedulingPolicy> make_policy(
+    PolicyKind kind, const PrioritySlackParams& params = {});
+
+}  // namespace topick::serve

@@ -33,6 +33,38 @@ struct ServeEngine::Slot {
   std::unique_ptr<SpAttenBackend> spatten;
 };
 
+double ClassMetrics::p50_ttft_cycles() const {
+  return percentile_or_zero(ttft_cycle_samples, 50.0);
+}
+double ClassMetrics::p99_ttft_cycles() const {
+  return percentile_or_zero(ttft_cycle_samples, 99.0);
+}
+double ClassMetrics::p50_latency_cycles() const {
+  return percentile_or_zero(latency_cycle_samples, 50.0);
+}
+double ClassMetrics::p99_latency_cycles() const {
+  return percentile_or_zero(latency_cycle_samples, 99.0);
+}
+
+double ClassMetrics::avg_queue_wait_steps() const {
+  if (queue_wait_step_samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : queue_wait_step_samples) sum += s;
+  return sum / static_cast<double>(queue_wait_step_samples.size());
+}
+
+double ClassMetrics::slo_ttft_attainment() const {
+  return slo_ttft_tracked == 0 ? 1.0
+                               : static_cast<double>(slo_ttft_met) /
+                                     static_cast<double>(slo_ttft_tracked);
+}
+double ClassMetrics::slo_latency_attainment() const {
+  return slo_latency_tracked == 0
+             ? 1.0
+             : static_cast<double>(slo_latency_met) /
+                   static_cast<double>(slo_latency_tracked);
+}
+
 double FleetMetrics::p50_step_cycles() const {
   return percentile_or_zero(step_cycle_samples, 50.0);
 }
@@ -87,6 +119,7 @@ ServeEngine::ServeEngine(const ServeConfig& config)
       pool_(PagedPoolConfig{config.pool_pages, config.page_tokens,
                             static_cast<std::size_t>(config.head_dim)}),
       batcher_(BatcherConfig{config.max_batch, config.max_prefill}),
+      policy_(make_policy(config.policy, config.policy_params)),
       picker_(config.picker),
       hbm_(config.dram) {
   require(config.n_layer > 0 && config.n_head > 0 && config.head_dim > 0,
@@ -110,6 +143,7 @@ void ServeEngine::submit(const wl::ArrivalEvent& event) {
   slots_.emplace_back(nullptr);
   dram_offset_.push_back(0);
   ++metrics_.requests_submitted;
+  ++class_metrics(requests_.back()).submitted;
 }
 
 void ServeEngine::submit_trace(const std::vector<wl::ArrivalEvent>& trace) {
@@ -120,6 +154,12 @@ int ServeEngine::kv_bits_per_element() const {
   return config_.backend == BackendKind::spatten
              ? config_.spatten.quant.total_bits
              : config_.picker.quant.total_bits;
+}
+
+std::uint64_t ServeEngine::replay_cost_bits(const Request& request) const {
+  return static_cast<std::uint64_t>(request.event.prompt_len +
+                                    request.generated) *
+         request.stream.token_write_bits(kv_bits_per_element());
 }
 
 std::size_t ServeEngine::pages_for_prefill(const Request& request) const {
@@ -147,7 +187,20 @@ void ServeEngine::admit_due_requests() {
       req.finish_cycle = req.arrival_cycle;
       ++finished_;
       ++metrics_.requests_retired;
+      ClassMetrics& cls = class_metrics(req);
+      ++cls.retired;
+      // Retired in zero steps: both SLOs count as trivially met so the two
+      // attainment denominators cover the same request population.
+      if (req.event.slo_ttft_steps > 0) {
+        ++cls.slo_ttft_tracked;
+        ++cls.slo_ttft_met;
+      }
+      if (req.event.slo_latency_steps > 0) {
+        ++cls.slo_latency_tracked;
+        ++cls.slo_latency_met;
+      }
     } else {
+      req.enqueue_step = req.event.step;  // queued-stint clock starts
       batcher_.queue().push_arrival(next_arrival_);
     }
     ++next_arrival_;
@@ -166,7 +219,33 @@ void ServeEngine::admit_due_requests() {
   }
   while (!batcher_.queue().empty() && batcher_.has_slot() &&
          batcher_.has_prefill_slot()) {
-    const std::size_t request = batcher_.queue().front();
+    // Snapshot the queue for the policy's admission pick. Head-of-line
+    // blocking applies to the *pick*: if the policy's choice does not fit,
+    // admission stops — no skipping past it to a smaller request.
+    const RequestQueue& queue = batcher_.queue();
+    admission_scratch_.clear();
+    for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+      const std::size_t r = queue.at(pos);
+      const Request& req = requests_[r];
+      AdmissionCandidate cand;
+      cand.request = r;
+      cand.priority = req.priority();
+      cand.queue_pos = pos;
+      // Aging input: steps spent *queued* (completed stints plus the current
+      // one) — running time between a past admission and a preemption must
+      // not pre-promote a re-entering request.
+      cand.wait_steps =
+          req.queued_steps_accum +
+          (now_ >= req.enqueue_step ? now_ - req.enqueue_step : 0);
+      if (req.event.slo_ttft_steps > 0) {
+        cand.slack_steps =
+            static_cast<long long>(req.event.step + req.event.slo_ttft_steps) -
+            static_cast<long long>(now_);
+      }
+      admission_scratch_.push_back(cand);
+    }
+    const std::size_t pick = policy_->pick_admission(admission_scratch_);
+    const std::size_t request = admission_scratch_[pick].request;
     const std::size_t need = pages_for_prefill(requests_[request]);
     if (pool_.pages_free() < need + reserved) {
       // With an idle, fully-free pool this request can never fit — a config
@@ -176,7 +255,7 @@ void ServeEngine::admit_due_requests() {
               "ServeEngine: request prefill exceeds total pool pages");
       break;
     }
-    batcher_.queue().pop();
+    batcher_.queue().erase_at(admission_scratch_[pick].queue_pos);
     begin_prefill(request);
     if (requests_[request].state == RequestState::prefilling) {
       batcher_.admit_prefill(request);
@@ -191,6 +270,11 @@ void ServeEngine::admit_due_requests() {
 
 void ServeEngine::begin_prefill(std::size_t request) {
   Request& req = requests_[request];
+  // Close out the queued stint for the aging clock.
+  req.queued_steps_accum += now_ >= req.enqueue_step
+                                ? now_ - req.enqueue_step
+                                : 0;
+  req.enqueue_step = now_;
   auto slot = std::make_unique<Slot>(&pool_, config_);
   if (config_.backend == BackendKind::spatten) {
     slot->spatten = std::make_unique<SpAttenBackend>(
@@ -201,6 +285,8 @@ void ServeEngine::begin_prefill(std::size_t request) {
   if (req.state == RequestState::queued) {
     req.admit_step = now_;
     metrics_.queue_wait_step_samples.push_back(
+        static_cast<double>(req.queue_wait_steps()));
+    class_metrics(req).queue_wait_step_samples.push_back(
         static_cast<double>(req.queue_wait_steps()));
   }
   // Preempted requests recompute: prompt plus every already-generated token
@@ -213,16 +299,16 @@ void ServeEngine::begin_prefill(std::size_t request) {
   slots_[request] = std::move(slot);
 }
 
-void ServeEngine::prefill_chunk(std::size_t request,
+bool ServeEngine::prefill_chunk(std::size_t request,
                                 std::vector<std::uint64_t>* step_bits) {
   Request& req = requests_[request];
-  Slot& slot = *slots_[request];
   const std::size_t remaining = req.prefill_target - req.prefilled;
   const std::size_t chunk =
       config_.prefill_chunk_tokens == 0
           ? remaining
           : std::min(config_.prefill_chunk_tokens, remaining);
-  ensure_pages_for_append(request, chunk);
+  if (!ensure_pages_for_append(request, chunk)) return false;
+  Slot& slot = *slots_[request];
 
   for (int layer = 0; layer < config_.n_layer; ++layer) {
     for (int head = 0; head < config_.n_head; ++head) {
@@ -247,29 +333,58 @@ void ServeEngine::prefill_chunk(std::size_t request,
     req.state = RequestState::running;  // first decode next step
     batcher_.begin_decode(request);
   }
+  return true;
 }
 
-void ServeEngine::preempt_for_pressure(std::size_t needy) {
-  std::size_t victim = 0;
-  const bool found = batcher_.choose_victim(needy, &victim);
-  require(found,
-          "ServeEngine: pool exhausted with a single running request — "
-          "pool_pages too small for the workload");
-  Request& req = requests_[victim];
-  slots_[victim]->cache.release_all();
-  slots_[victim].reset();
+void ServeEngine::do_preempt(std::size_t request) {
+  Request& req = requests_[request];
+  slots_[request]->cache.release_all();
+  slots_[request].reset();
+  req.enqueue_step = now_;  // new queued stint starts now
   req.state = RequestState::preempted;
   ++req.preemptions;
   ++metrics_.preemptions;
-  batcher_.preempt(victim);
+  ++class_metrics(req).preemptions;
+  batcher_.preempt(request);
 }
 
-void ServeEngine::ensure_pages_for_append(std::size_t request,
+bool ServeEngine::preempt_for_pressure(std::size_t needy) {
+  victim_scratch_.clear();
+  const auto& running = batcher_.running();
+  for (std::size_t order = 0; order < running.size(); ++order) {
+    const std::size_t r = running[order];
+    if (r == needy) continue;  // the needy request is never its own victim
+    VictimCandidate cand;
+    cand.request = r;
+    cand.priority = requests_[r].priority();
+    cand.admit_order = order;
+    cand.pages_held = slots_[r]->cache.pages_held();
+    cand.replay_bits = replay_cost_bits(requests_[r]);
+    victim_scratch_.push_back(cand);
+  }
+  require(!victim_scratch_.empty(),
+          "ServeEngine: pool exhausted with a single running request — "
+          "pool_pages too small for the workload");
+  std::size_t pick = 0;
+  if (policy_->pick_victim(victim_scratch_, requests_[needy].priority(),
+                           &pick)) {
+    do_preempt(victim_scratch_[pick].request);
+    return true;
+  }
+  // Every candidate outranks the needy request's class: it yields instead
+  // of evicting a higher class — back to the queue, to re-admit (with a
+  // full replay) once pages free up.
+  do_preempt(needy);
+  return false;
+}
+
+bool ServeEngine::ensure_pages_for_append(std::size_t request,
                                           std::size_t tokens) {
   // Pages that appending `tokens` tokens to every sequence will open (one per
   // page boundary the append range crosses). Preempt until they fit; the
-  // needy request itself is never chosen, so progress is guaranteed once it
-  // is the only one running.
+  // needy request itself is never a victim *candidate*, so either the pool
+  // frees up or the policy refuses and the needy request self-preempts
+  // (false return — caller bails out of the append).
   auto& slot = *slots_[request];
   const std::size_t pt = config_.page_tokens;
   std::size_t needed = 0;
@@ -280,17 +395,20 @@ void ServeEngine::ensure_pages_for_append(std::size_t request,
       needed += (appended + tokens + pt - 1) / pt - (appended + pt - 1) / pt;
     }
   }
-  while (pool_.pages_free() < needed) preempt_for_pressure(request);
+  while (pool_.pages_free() < needed) {
+    if (!preempt_for_pressure(request)) return false;
+  }
+  return true;
 }
 
-void ServeEngine::decode_one(std::size_t request,
+bool ServeEngine::decode_one(std::size_t request,
                              std::vector<std::uint64_t>* step_bits) {
   Request& req = requests_[request];
-  Slot& slot = *slots_[request];
   const std::size_t pos = req.event.prompt_len + req.generated;
   const auto dim = static_cast<std::size_t>(config_.head_dim);
 
-  ensure_pages_for_append(request, 1);
+  if (!ensure_pages_for_append(request, 1)) return false;
+  Slot& slot = *slots_[request];
 
   StepOutput record;
   if (config_.capture_outputs) {
@@ -409,8 +527,10 @@ void ServeEngine::decode_one(std::size_t request,
   (*step_bits)[request] = bits;
   ++req.generated;
   ++metrics_.tokens_generated;
+  ++class_metrics(req).tokens_generated;
 
   if (req.done()) retire(request);
+  return true;
 }
 
 void ServeEngine::retire(std::size_t request) {
@@ -422,6 +542,14 @@ void ServeEngine::retire(std::size_t request) {
   batcher_.retire(request);
   ++finished_;
   ++metrics_.requests_retired;
+  ClassMetrics& cls = class_metrics(req);
+  ++cls.retired;
+  if (req.event.slo_latency_steps > 0) {
+    ++cls.slo_latency_tracked;
+    if (req.finish_step - req.event.step <= req.event.slo_latency_steps) {
+      ++cls.slo_latency_met;
+    }
+  }
 }
 
 void ServeEngine::simulate_step_dram(
@@ -489,12 +617,16 @@ bool ServeEngine::step() {
   std::vector<std::uint64_t> step_bits(requests_.size(), 0);
   std::vector<StepXfer> active;
   for (const std::size_t request : schedule) {
+    // A false return = the request self-preempted inside the call (the
+    // policy shielded every running request): nothing appended, no traffic.
     if (requests_[request].state == RequestState::prefilling) {
-      prefill_chunk(request, &step_bits);
-      active.push_back(StepXfer{request, /*decode=*/false});
+      if (prefill_chunk(request, &step_bits)) {
+        active.push_back(StepXfer{request, /*decode=*/false});
+      }
     } else if (requests_[request].state == RequestState::running) {
-      decode_one(request, &step_bits);
-      active.push_back(StepXfer{request, /*decode=*/true});
+      if (decode_one(request, &step_bits)) {
+        active.push_back(StepXfer{request, /*decode=*/true});
+      }
     }
   }
 
@@ -514,12 +646,23 @@ bool ServeEngine::step() {
       if (config_.simulate_dram) {
         metrics_.ttft_cycle_samples.push_back(
             static_cast<double>(req.ttft_cycles()));
+        class_metrics(req).ttft_cycle_samples.push_back(
+            static_cast<double>(req.ttft_cycles()));
+      }
+      if (req.event.slo_ttft_steps > 0) {
+        ClassMetrics& cls = class_metrics(req);
+        ++cls.slo_ttft_tracked;
+        if (req.first_token_step - req.event.step <= req.event.slo_ttft_steps) {
+          ++cls.slo_ttft_met;
+        }
       }
     }
     if (req.state == RequestState::finished && req.finish_step == now_) {
       req.finish_cycle = hbm_.cycle();
       if (config_.simulate_dram) {
         metrics_.request_latency_cycle_samples.push_back(
+            static_cast<double>(req.latency_cycles()));
+        class_metrics(req).latency_cycle_samples.push_back(
             static_cast<double>(req.latency_cycles()));
       }
     }

@@ -1,12 +1,14 @@
 // ServeEngine: the multi-tenant prefill+decode loop tying the subsystem
 // together.
 //
-// Each engine step: (1) admit due arrivals while slots, prefill slots, and
-// pool pages allow (zero-decode requests retire at arrival); (2) for every
-// prefilling request, append up to prefill_chunk_tokens of its prompt (or
-// preemption replay) through the paged pool and charge the K/V *write* bits
-// to the step; (3) for every decoding request, append the step's K/V
-// (preempting the youngest request under pool pressure) and run one
+// Each engine step: (1) admit due arrivals — ordered by the configured
+// SchedulingPolicy — while slots, prefill slots, and pool pages allow
+// (zero-decode requests retire at arrival); (2) for every prefilling
+// request, append up to prefill_chunk_tokens of its prompt (or preemption
+// replay) through the paged pool and charge the K/V *write* bits to the
+// step; (3) for every decoding request, append the step's K/V (resolving
+// pool pressure through the policy's victim pick, or self-preempting the
+// needy request when the policy protects every running one) and run one
 // attention instance per (layer, head) through the configured backend —
 // exact quantized, Token-Picker, or SpAtten; (4) feed Token-Picker's
 // per-token verdicts into PrunePersistence and reclaim fully-dead pages;
@@ -25,6 +27,8 @@
 #include <memory>
 #include <vector>
 
+#include <array>
+
 #include "core/spatten.h"
 #include "core/token_picker.h"
 #include "memsim/hbm.h"
@@ -32,6 +36,7 @@
 #include "serve/paged_kv_pool.h"
 #include "serve/paged_sequence.h"
 #include "serve/request.h"
+#include "serve/scheduling_policy.h"
 #include "workload/arrivals.h"
 #include "workload/decode_stream.h"
 
@@ -76,6 +81,13 @@ struct ServeConfig {
   SpAttenConfig spatten;
   wl::DecodeStreamParams stream;  // head_dim is overridden from above
 
+  // QoS scheduling: which queued request admits next and which running
+  // request is preempted under pool pressure (scheduling_policy.h).
+  // fifo_youngest_first reproduces the pre-policy baseline exactly;
+  // policy_params (aging) applies to the priority-aware policies only.
+  PolicyKind policy = PolicyKind::fifo_youngest_first;
+  PrioritySlackParams policy_params;
+
   // Chunked prefill: prompt (or preemption-replay) tokens appended per
   // engine step while a request is in the prefilling state. 0 = monolithic —
   // the whole remaining prefill lands in a single step. Either way the
@@ -95,6 +107,36 @@ struct ServeConfig {
   // engine still accounts bits but reports no cycle numbers (faster benches).
   bool simulate_dram = true;
   mem::DramConfig dram;
+};
+
+// Per-priority-class slice of the fleet metrics: latency distributions,
+// queue wait, preemption pressure, and SLO attainment. SLOs are deadlines in
+// engine steps carried by the arrival events (wl::ArrivalEvent); requests
+// without an SLO are not counted toward attainment.
+struct ClassMetrics {
+  std::size_t submitted = 0;
+  std::size_t retired = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t tokens_generated = 0;
+
+  std::vector<double> ttft_cycle_samples;
+  std::vector<double> latency_cycle_samples;
+  std::vector<double> queue_wait_step_samples;
+
+  std::size_t slo_ttft_tracked = 0;
+  std::size_t slo_ttft_met = 0;
+  std::size_t slo_latency_tracked = 0;
+  std::size_t slo_latency_met = 0;
+
+  double p50_ttft_cycles() const;
+  double p99_ttft_cycles() const;
+  double p50_latency_cycles() const;
+  double p99_latency_cycles() const;
+  double avg_queue_wait_steps() const;
+  // Fraction of SLO-carrying requests that met the deadline; 1.0 when the
+  // class tracked none (vacuously attained).
+  double slo_ttft_attainment() const;
+  double slo_latency_attainment() const;
 };
 
 struct FleetMetrics {
@@ -133,6 +175,12 @@ struct FleetMetrics {
   std::uint64_t pool_reuses = 0;
   std::uint64_t pages_reclaimed = 0;  // freed by pruning (not retirement)
   double avg_fragmentation = 0.0;  // dead-but-unreclaimed slot fraction
+
+  // Per-priority-class breakdowns, indexed by wl::Priority.
+  std::array<ClassMetrics, wl::kPriorityCount> per_class;
+  const ClassMetrics& for_class(wl::Priority priority) const {
+    return per_class[static_cast<std::size_t>(priority)];
+  }
 
   double p50_step_cycles() const;
   double p95_step_cycles() const;
@@ -189,12 +237,24 @@ class ServeEngine {
   // Element width for pricing K/V writes — the active backend's quant width,
   // so write traffic is priced consistently with that backend's read stats.
   int kv_bits_per_element() const;
+  // K/V write bits a preempted `request` would replay on resume (prompt plus
+  // already-generated tokens) — the recompute cost CostAwareVictim ranks by.
+  std::uint64_t replay_cost_bits(const Request& request) const;
+  ClassMetrics& class_metrics(const Request& request) {
+    return metrics_.per_class[static_cast<std::size_t>(request.priority())];
+  }
   void admit_due_requests();
-  void ensure_pages_for_append(std::size_t request, std::size_t tokens);
+  // All three return false when `request` was self-preempted mid-call (the
+  // policy refused to sacrifice any running request for it) — the caller
+  // must not touch the slot or charge traffic.
+  bool ensure_pages_for_append(std::size_t request, std::size_t tokens);
+  bool prefill_chunk(std::size_t request, std::vector<std::uint64_t>* step_bits);
+  bool decode_one(std::size_t request, std::vector<std::uint64_t>* step_bits);
   void begin_prefill(std::size_t request);
-  void prefill_chunk(std::size_t request, std::vector<std::uint64_t>* step_bits);
-  void decode_one(std::size_t request, std::vector<std::uint64_t>* step_bits);
-  void preempt_for_pressure(std::size_t needy);
+  // Applies the policy's victim pick (or self-preempts `needy` on refusal —
+  // the false return). Throws when `needy` is the only running request.
+  bool preempt_for_pressure(std::size_t needy);
+  void do_preempt(std::size_t request);
   void retire(std::size_t request);
   void simulate_step_dram(const std::vector<std::uint64_t>& step_bits,
                           const std::vector<StepXfer>& active);
@@ -202,6 +262,7 @@ class ServeEngine {
   ServeConfig config_;
   PagedKvPool pool_;
   ContinuousBatcher batcher_;
+  std::unique_ptr<SchedulingPolicy> policy_;
   TokenPickerAttention picker_;
   mem::Hbm hbm_;
 
@@ -219,6 +280,9 @@ class ServeEngine {
   // Gather scratch reused across instances.
   std::vector<float> key_scratch_, value_scratch_;
   std::vector<std::size_t> token_ids_;
+  // Policy candidate scratch, rebuilt per pick.
+  std::vector<AdmissionCandidate> admission_scratch_;
+  std::vector<VictimCandidate> victim_scratch_;
 };
 
 }  // namespace topick::serve

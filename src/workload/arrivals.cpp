@@ -26,24 +26,38 @@ std::size_t uniform_len(Rng& rng, std::size_t lo, std::size_t hi) {
   return lo + static_cast<std::size_t>(rng.uniform_index(hi - lo + 1));
 }
 
-}  // namespace
+// Draws the arrival's class from the mix weights (cumulative inverse CDF,
+// one uniform per arrival so traces stay replayable from the seed).
+Priority sample_class(Rng& rng,
+                      const std::array<PriorityClassMix, kPriorityCount>& mix,
+                      double total_weight) {
+  double u = rng.uniform() * total_weight;
+  for (std::size_t c = 0; c + 1 < kPriorityCount; ++c) {
+    if (u < mix[c].weight) return static_cast<Priority>(c);
+    u -= mix[c].weight;
+  }
+  return static_cast<Priority>(kPriorityCount - 1);
+}
 
-std::vector<ArrivalEvent> make_arrival_trace(const ArrivalParams& params,
-                                             std::size_t num_requests,
-                                             Rng& rng) {
-  require(params.rate > 0.0, "ArrivalParams: rate must be positive");
+// Shared arrival process: steps the Poisson/bursty phase machine and calls
+// make_event(rng, event) to fill in each arrival's per-request draws (both
+// trace flavors share the exact same timing RNG call sequence).
+template <typename MakeEvent>
+std::vector<ArrivalEvent> generate_trace(const ArrivalParams& process,
+                                         std::size_t num_requests, Rng& rng,
+                                         MakeEvent&& make_event) {
+  require(process.rate > 0.0, "ArrivalParams: rate must be positive");
   std::vector<ArrivalEvent> trace;
   trace.reserve(num_requests);
-
   bool in_burst = false;
   std::size_t step = 0;
   while (trace.size() < num_requests) {
-    double rate = params.rate;
-    if (params.kind == ArrivalKind::bursty) {
+    double rate = process.rate;
+    if (process.kind == ArrivalKind::bursty) {
       if (in_burst) {
-        rate *= params.burst_factor;
-        if (rng.bernoulli(params.burst_stop_prob)) in_burst = false;
-      } else if (rng.bernoulli(params.burst_start_prob)) {
+        rate *= process.burst_factor;
+        if (rng.bernoulli(process.burst_stop_prob)) in_burst = false;
+      } else if (rng.bernoulli(process.burst_start_prob)) {
         in_burst = true;
       }
     }
@@ -52,16 +66,59 @@ std::vector<ArrivalEvent> make_arrival_trace(const ArrivalParams& params,
       ArrivalEvent event;
       event.request_id = trace.size();
       event.step = step;
-      event.prompt_len =
-          uniform_len(rng, params.prompt_min, params.prompt_max);
-      event.decode_len =
-          uniform_len(rng, params.decode_min, params.decode_max);
-      event.stream_seed = rng.next_u64();
+      make_event(rng, event);
       trace.push_back(event);
     }
     ++step;
   }
   return trace;
+}
+
+}  // namespace
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::interactive: return "interactive";
+    case Priority::batch: return "batch";
+    case Priority::best_effort: return "best_effort";
+  }
+  return "?";
+}
+
+std::vector<ArrivalEvent> make_arrival_trace(const ArrivalParams& params,
+                                             std::size_t num_requests,
+                                             Rng& rng) {
+  return generate_trace(params, num_requests, rng,
+                        [&params](Rng& r, ArrivalEvent& event) {
+                          event.prompt_len = uniform_len(
+                              r, params.prompt_min, params.prompt_max);
+                          event.decode_len = uniform_len(
+                              r, params.decode_min, params.decode_max);
+                          event.stream_seed = r.next_u64();
+                        });
+}
+
+std::vector<ArrivalEvent> make_priority_mix_trace(
+    const PriorityMixParams& params, std::size_t num_requests, Rng& rng) {
+  double total_weight = 0.0;
+  for (const auto& m : params.mix) {
+    require(m.weight >= 0.0, "PriorityClassMix: negative weight");
+    total_weight += m.weight;
+  }
+  require(total_weight > 0.0, "PriorityMixParams: all class weights zero");
+
+  return generate_trace(
+      params.arrivals, num_requests, rng,
+      [&params, total_weight](Rng& r, ArrivalEvent& event) {
+        const Priority cls = sample_class(r, params.mix, total_weight);
+        const auto& m = params.mix[static_cast<std::size_t>(cls)];
+        event.priority = cls;
+        event.prompt_len = uniform_len(r, m.prompt_min, m.prompt_max);
+        event.decode_len = uniform_len(r, m.decode_min, m.decode_max);
+        event.slo_ttft_steps = m.slo_ttft_steps;
+        event.slo_latency_steps = m.slo_latency_steps;
+        event.stream_seed = r.next_u64();
+      });
 }
 
 }  // namespace topick::wl

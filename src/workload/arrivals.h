@@ -8,6 +8,7 @@
 // have mixed lengths, like real serving.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -17,6 +18,17 @@
 namespace topick::wl {
 
 enum class ArrivalKind { poisson, bursty };
+
+// QoS priority class carried by every request. Lower value = higher class;
+// the serve scheduler (serve/scheduling_policy.h) orders admission and picks
+// preemption victims by it. `interactive` is latency-critical user traffic,
+// `batch` is throughput work with loose deadlines, `best_effort` is
+// scavenger load with no SLO at all.
+enum class Priority { interactive = 0, batch = 1, best_effort = 2 };
+
+inline constexpr std::size_t kPriorityCount = 3;
+
+const char* priority_name(Priority priority);
 
 struct ArrivalParams {
   ArrivalKind kind = ArrivalKind::poisson;
@@ -41,12 +53,51 @@ struct ArrivalEvent {
   // Seeds the request's synthetic K/V/query stream (see decode_stream.h),
   // making preemption-recompute and shadow references replayable.
   std::uint64_t stream_seed = 0;
+
+  // QoS metadata. SLOs are deadlines in *engine steps* from arrival (0 = no
+  // SLO) — steps advance even when the DRAM proxy is off, so SLO attainment
+  // is deterministic across simulation modes. slo_ttft_steps bounds arrival
+  // -> first generated token; slo_latency_steps bounds arrival -> retire.
+  Priority priority = Priority::interactive;
+  std::size_t slo_ttft_steps = 0;
+  std::size_t slo_latency_steps = 0;
 };
 
 // Generates `num_requests` arrivals, ordered by step. Request ids are dense
-// starting at 0.
+// starting at 0. Every request gets the default priority (interactive) and
+// no SLO; use make_priority_mix_trace for QoS-heterogeneous traffic.
 std::vector<ArrivalEvent> make_arrival_trace(const ArrivalParams& params,
                                              std::size_t num_requests,
                                              Rng& rng);
+
+// Per-class shape of a priority-mix trace: how often the class arrives
+// (relative weight), its length ranges, and its SLOs.
+struct PriorityClassMix {
+  double weight = 1.0;
+  std::size_t prompt_min = 8;
+  std::size_t prompt_max = 64;
+  std::size_t decode_min = 8;
+  std::size_t decode_max = 64;
+  std::size_t slo_ttft_steps = 0;     // 0 = no TTFT SLO
+  std::size_t slo_latency_steps = 0;  // 0 = no latency SLO
+};
+
+// Mixed-QoS arrival trace: the arrival *process* (Poisson/bursty timing)
+// comes from `arrivals` (its length ranges are ignored); each arrival is
+// assigned a priority class by weight and draws lengths/SLOs from that
+// class's mix entry. Defaults model the classic serving split: short
+// tight-SLO interactive traffic, long loose-SLO batch jobs, and SLO-less
+// best-effort scavengers.
+struct PriorityMixParams {
+  ArrivalParams arrivals;
+  std::array<PriorityClassMix, kPriorityCount> mix{
+      PriorityClassMix{0.5, 8, 32, 8, 32, 24, 192},
+      PriorityClassMix{0.3, 48, 160, 16, 64, 96, 768},
+      PriorityClassMix{0.2, 16, 64, 8, 48, 0, 0},
+  };
+};
+
+std::vector<ArrivalEvent> make_priority_mix_trace(
+    const PriorityMixParams& params, std::size_t num_requests, Rng& rng);
 
 }  // namespace topick::wl

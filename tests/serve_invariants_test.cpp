@@ -1,0 +1,306 @@
+// Serve-level invariant and determinism suite.
+//
+// * PagedKvPool property test: ~10k randomized alloc/append/mark-dead/sweep/
+//   release ops over concurrent sequences against a shadow model, asserting
+//   the page-accounting invariants (free + resident == pool size, exclusive
+//   page ownership, reclaim never frees a live token's page).
+// * Determinism: two ServeEngine runs from an identical config + seed yield
+//   bit-identical FleetMetrics and per-request token streams, for every
+//   scheduling policy — the guard against iteration-order nondeterminism in
+//   the scheduler refactor.
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serve/paged_kv_pool.h"
+#include "serve/paged_sequence.h"
+#include "serve/scheduling_policy.h"
+#include "serve/serve_engine.h"
+#include "workload/arrivals.h"
+
+namespace topick::serve {
+namespace {
+
+// ---- PagedKvPool / PagedSequence property test ------------------------------
+
+constexpr std::size_t kHeadDim = 2;
+constexpr std::size_t kPageTokens = 4;
+
+// Shadow of one sequence: every appended token's encoded key plus liveness,
+// and which logical pages an earlier sweep already returned to the pool.
+struct ShadowSeq {
+  std::vector<bool> live;
+  std::vector<bool> page_freed;  // by logical page index
+  std::size_t live_count = 0;
+};
+
+float encode(std::size_t seq, std::size_t token) {
+  return static_cast<float>(seq * 100000 + token);
+}
+
+// Full pages whose live count is zero and that are still held — exactly what
+// the next sweep() must free (the partial tail page never counts, even when
+// fully dead; already-swept pages don't free twice).
+std::vector<std::size_t> sweepable_pages(const ShadowSeq& shadow) {
+  const std::size_t full_pages = shadow.live.size() / kPageTokens;
+  std::vector<std::size_t> dead_pages;
+  for (std::size_t p = 0; p < full_pages; ++p) {
+    if (p < shadow.page_freed.size() && shadow.page_freed[p]) continue;
+    bool any_live = false;
+    for (std::size_t t = p * kPageTokens; t < (p + 1) * kPageTokens; ++t) {
+      any_live |= shadow.live[t];
+    }
+    if (!any_live) dead_pages.push_back(p);
+  }
+  return dead_pages;
+}
+
+TEST(PagedKvPoolProperty, RandomizedOpsPreserveAccountingAndOwnership) {
+  constexpr std::size_t kPoolPages = 24;  // small: exhaustion must happen
+  constexpr std::size_t kSeqs = 6;
+  constexpr int kOps = 10000;
+
+  PagedKvPool pool({kPoolPages, kPageTokens, kHeadDim});
+  std::vector<PagedSequence> seqs;
+  seqs.reserve(kSeqs);
+  for (std::size_t s = 0; s < kSeqs; ++s) seqs.emplace_back(&pool);
+  std::vector<ShadowSeq> shadow(kSeqs);
+  // Swept full pages leave the sequence but their token ids stay dead
+  // forever; shadow.live keeps tracking them as dead, so views must match.
+
+  Rng rng(0xfeedface);
+  std::uint64_t appends_refused = 0;
+
+  for (int op = 0; op < kOps; ++op) {
+    const std::size_t s = rng.uniform_index(kSeqs);
+    auto& seq = seqs[s];
+    auto& sh = shadow[s];
+    const double dice = rng.uniform();
+
+    if (dice < 0.62) {
+      // Append one token with an identifying key.
+      const std::size_t token = sh.live.size();
+      const std::vector<float> k{encode(s, token), 0.5f};
+      const std::vector<float> v{-encode(s, token), 1.5f};
+      if (seq.append(k, v)) {
+        sh.live.push_back(true);
+        ++sh.live_count;
+      } else {
+        // Refusal is only legal on genuine exhaustion, and changes nothing.
+        EXPECT_EQ(pool.pages_free(), 0u);
+        ++appends_refused;
+      }
+    } else if (dice < 0.82) {
+      // Kill a random live token.
+      if (sh.live_count > 0) {
+        std::size_t pick = rng.uniform_index(sh.live_count);
+        for (std::size_t t = 0; t < sh.live.size(); ++t) {
+          if (!sh.live[t]) continue;
+          if (pick-- == 0) {
+            seq.mark_dead(t);
+            sh.live[t] = false;
+            --sh.live_count;
+            break;
+          }
+        }
+      }
+    } else if (dice < 0.95) {
+      // Sweep: must free exactly the still-held fully-dead full pages, never
+      // a page holding a live token (verified below by the view re-read).
+      const auto dead_pages = sweepable_pages(sh);
+      const std::size_t freed = seq.sweep();
+      EXPECT_EQ(freed, dead_pages.size()) << "op " << op << " seq " << s;
+      for (const std::size_t p : dead_pages) {
+        if (p >= sh.page_freed.size()) sh.page_freed.resize(p + 1, false);
+        sh.page_freed[p] = true;
+      }
+    } else {
+      // Retire/preempt: everything returns to the pool.
+      seq.release_all();
+      sh.live.clear();
+      sh.page_freed.clear();
+      sh.live_count = 0;
+      EXPECT_EQ(seq.appended_tokens(), 0u);
+      EXPECT_EQ(seq.pages_held(), 0u);
+    }
+
+    // Invariant 1: free + resident page accounting always sums to the pool.
+    std::size_t held_total = 0;
+    for (const auto& q : seqs) held_total += q.pages_held();
+    EXPECT_EQ(pool.pages_free() + held_total, kPoolPages) << "op " << op;
+    EXPECT_EQ(pool.pages_in_use(), held_total) << "op " << op;
+
+    // Invariants 2+3, checked through the views: every sequence still reads
+    // exactly its shadow-live tokens with the values it appended (a page
+    // owned by two sequences, or a reclaimed live page, would corrupt some
+    // sequence's ids or values), and no physical page backs two sequences.
+    const bool full_audit = op % 250 == 0 || op == kOps - 1;
+    if (full_audit) {
+      std::set<const float*> owned_pages;
+      for (std::size_t q = 0; q < kSeqs; ++q) {
+        std::vector<std::size_t> ids;
+        const auto view = seqs[q].view(&ids);
+        const auto& shq = shadow[q];
+        ASSERT_EQ(view.len(), shq.live_count) << "op " << op << " seq " << q;
+        EXPECT_EQ(seqs[q].live_tokens(), shq.live_count);
+        std::size_t vi = 0;
+        for (std::size_t t = 0; t < shq.live.size(); ++t) {
+          if (!shq.live[t]) {
+            EXPECT_FALSE(seqs[q].live(t));
+            continue;
+          }
+          ASSERT_LT(vi, ids.size());
+          EXPECT_EQ(ids[vi], t);
+          EXPECT_FLOAT_EQ(view.key(vi)[0], encode(q, t));
+          EXPECT_FLOAT_EQ(view.value(vi)[0], -encode(q, t));
+          ++vi;
+        }
+        for (const float* page : view.key_pages) {
+          if (page == nullptr) continue;
+          const bool inserted = owned_pages.insert(page).second;
+          EXPECT_TRUE(inserted)
+              << "page owned by two sequences at op " << op;
+        }
+      }
+    }
+  }
+  // The scenario actually exercised exhaustion-and-recovery.
+  EXPECT_GT(appends_refused, 0u);
+  EXPECT_GT(pool.reuses(), 0u);
+}
+
+// ---- determinism ------------------------------------------------------------
+
+void expect_class_metrics_identical(const ClassMetrics& a,
+                                    const ClassMetrics& b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.tokens_generated, b.tokens_generated);
+  EXPECT_EQ(a.ttft_cycle_samples, b.ttft_cycle_samples);
+  EXPECT_EQ(a.latency_cycle_samples, b.latency_cycle_samples);
+  EXPECT_EQ(a.queue_wait_step_samples, b.queue_wait_step_samples);
+  EXPECT_EQ(a.slo_ttft_tracked, b.slo_ttft_tracked);
+  EXPECT_EQ(a.slo_ttft_met, b.slo_ttft_met);
+  EXPECT_EQ(a.slo_latency_tracked, b.slo_latency_tracked);
+  EXPECT_EQ(a.slo_latency_met, b.slo_latency_met);
+}
+
+void expect_metrics_identical(const FleetMetrics& a, const FleetMetrics& b) {
+  EXPECT_EQ(a.requests_submitted, b.requests_submitted);
+  EXPECT_EQ(a.requests_retired, b.requests_retired);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.tokens_generated, b.tokens_generated);
+  EXPECT_EQ(a.engine_steps, b.engine_steps);
+  EXPECT_EQ(a.stats.k_bits_fetched, b.stats.k_bits_fetched);
+  EXPECT_EQ(a.stats.v_bits_fetched, b.stats.v_bits_fetched);
+  EXPECT_EQ(a.stats.k_bits_baseline, b.stats.k_bits_baseline);
+  EXPECT_EQ(a.stats.v_bits_baseline, b.stats.v_bits_baseline);
+  EXPECT_EQ(a.stats.tokens_total, b.stats.tokens_total);
+  EXPECT_EQ(a.stats.tokens_kept, b.stats.tokens_kept);
+  EXPECT_EQ(a.prefill_tokens, b.prefill_tokens);
+  EXPECT_EQ(a.prefill_bits, b.prefill_bits);
+  EXPECT_EQ(a.decode_write_bits, b.decode_write_bits);
+  EXPECT_EQ(a.step_cycle_samples, b.step_cycle_samples);  // bitwise doubles
+  EXPECT_EQ(a.dram_cycles, b.dram_cycles);
+  EXPECT_EQ(a.ttft_cycle_samples, b.ttft_cycle_samples);
+  EXPECT_EQ(a.request_latency_cycle_samples, b.request_latency_cycle_samples);
+  EXPECT_EQ(a.queue_wait_step_samples, b.queue_wait_step_samples);
+  EXPECT_EQ(a.pool_peak_pages, b.pool_peak_pages);
+  EXPECT_EQ(a.pool_reuses, b.pool_reuses);
+  EXPECT_EQ(a.pages_reclaimed, b.pages_reclaimed);
+  EXPECT_DOUBLE_EQ(a.avg_fragmentation, b.avg_fragmentation);
+  for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
+    expect_class_metrics_identical(a.per_class[c], b.per_class[c]);
+  }
+}
+
+ServeConfig determinism_config(PolicyKind policy) {
+  ServeConfig config;
+  config.n_layer = 1;
+  config.n_head = 2;
+  config.head_dim = 16;
+  config.max_batch = 6;
+  config.pool_pages = 56;  // tight enough that preemption/self-preemption run
+  config.page_tokens = 4;
+  config.backend = BackendKind::token_picker;
+  config.picker.estimator.threshold = 1e-3;
+  config.persistence_window = 2;
+  config.reclaim = true;
+  config.capture_outputs = true;
+  config.simulate_dram = true;
+  config.prefill_chunk_tokens = 8;
+  config.policy = policy;
+  config.policy_params.aging_steps = 16;
+  return config;
+}
+
+TEST(ServeEngineDeterminism, IdenticalConfigAndSeedGiveBitIdenticalRuns) {
+  wl::PriorityMixParams mix;
+  mix.arrivals.rate = 0.9;
+  // Short, mixed-class requests; lengths small so three policies x two runs
+  // stay fast.
+  for (auto& m : mix.mix) {
+    m.prompt_min = 4;
+    m.prompt_max = 24;
+    m.decode_min = 8;
+    m.decode_max = 24;
+  }
+
+  for (const PolicyKind policy :
+       {PolicyKind::fifo_youngest_first, PolicyKind::priority_slack,
+        PolicyKind::cost_aware_victim}) {
+    SCOPED_TRACE(policy_kind_name(policy));
+    Rng trace_rng(2026);
+    const auto trace = wl::make_priority_mix_trace(mix, 18, trace_rng);
+
+    const ServeConfig config = determinism_config(policy);
+    ServeEngine a(config);
+    a.submit_trace(trace);
+    a.run();
+    ServeEngine b(config);
+    b.submit_trace(trace);
+    b.run();
+
+    // The scenario must actually exercise the scheduler's contended paths
+    // for the determinism claim to mean anything.
+    EXPECT_GT(a.metrics().preemptions, 0u);
+
+    expect_metrics_identical(a.metrics(), b.metrics());
+
+    ASSERT_EQ(a.requests().size(), b.requests().size());
+    for (std::size_t r = 0; r < a.requests().size(); ++r) {
+      const Request& ra = a.requests()[r];
+      const Request& rb = b.requests()[r];
+      EXPECT_EQ(ra.generated, rb.generated);
+      EXPECT_EQ(ra.admit_step, rb.admit_step);
+      EXPECT_EQ(ra.finish_step, rb.finish_step);
+      EXPECT_EQ(ra.first_token_step, rb.first_token_step);
+      EXPECT_EQ(ra.preemptions, rb.preemptions);
+      EXPECT_EQ(ra.dram_cycles, rb.dram_cycles);
+      EXPECT_EQ(ra.prefill_bits, rb.prefill_bits);
+      // Per-request token streams: every step's attention output and token
+      // sets must be bit-identical, not merely close.
+      ASSERT_EQ(ra.outputs.size(), rb.outputs.size()) << "request " << r;
+      for (std::size_t s = 0; s < ra.outputs.size(); ++s) {
+        const StepOutput& sa = ra.outputs[s];
+        const StepOutput& sb = rb.outputs[s];
+        EXPECT_EQ(sa.position, sb.position);
+        ASSERT_EQ(sa.out.size(), sb.out.size());
+        for (std::size_t i = 0; i < sa.out.size(); ++i) {
+          EXPECT_EQ(sa.out[i], sb.out[i]) << "request " << r << " step " << s;
+          EXPECT_EQ(sa.view_tokens[i], sb.view_tokens[i]);
+          EXPECT_EQ(sa.kept_tokens[i], sb.kept_tokens[i]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topick::serve
