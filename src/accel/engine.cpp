@@ -518,8 +518,7 @@ SimResult Engine::run(const AccelInstance& instance, bool record_timeline) {
     }
     const int fetched =
         estimation ? std::max(state.chunks_done, 1) : num_chunks;
-    result.access
-        .chunk_histogram[static_cast<std::size_t>(fetched - 1)]++;
+    result.access.record_chunk_fetch(fetched);
   }
   result.survivors = result.access.tokens_kept;
 

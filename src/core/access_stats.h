@@ -18,7 +18,16 @@ struct AccessStats {
   std::uint64_t tokens_total = 0;
   std::uint64_t tokens_kept = 0;
   // chunk_histogram[c] counts tokens that fetched exactly c+1 K chunks.
+  // Configs with more than 8 chunks (e.g. chunk_bits = 1) fold into the last
+  // bucket — record through record_chunk_fetch, never by direct indexing.
   std::array<std::uint64_t, 8> chunk_histogram{};
+
+  void record_chunk_fetch(int chunks_fetched) {
+    auto idx = static_cast<std::size_t>(chunks_fetched > 0 ? chunks_fetched - 1
+                                                           : 0);
+    if (idx >= chunk_histogram.size()) idx = chunk_histogram.size() - 1;
+    ++chunk_histogram[idx];
+  }
 
   void merge(const AccessStats& other) {
     k_bits_fetched += other.k_bits_fetched;

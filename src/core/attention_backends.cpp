@@ -8,13 +8,33 @@
 
 namespace topick {
 
+namespace {
+
+// Per-(layer, head) cache lookup; creates on first use, then syncs the cache
+// to the (append-only) float view the transformer hands backends.
+QuantizedKvCache& synced_cache(
+    std::map<std::pair<int, int>, QuantizedKvCache>& caches,
+    const AttentionContext& ctx, const KvHeadView& kv,
+    const fx::QuantParams& quant) {
+  auto [it, inserted] = caches.try_emplace(
+      std::make_pair(ctx.layer, ctx.head), kv.head_dim,
+      QuantizedKvCache::Config{quant, 1.0f});
+  sync_cache_to_view(it->second, kv);
+  return it->second;
+}
+
+}  // namespace
+
 ExactQuantizedBackend::ExactQuantizedBackend(const fx::QuantParams& quant)
     : quant_(quant) {}
 
+void ExactQuantizedBackend::begin_sequence() { caches_.clear(); }
+
 void ExactQuantizedBackend::attend(std::span<const float> q,
                                    const KvHeadView& kv, std::span<float> out,
-                                   const AttentionContext&) {
-  auto result = exact_attention_quantized(q, kv, quant_);
+                                   const AttentionContext& ctx) {
+  QuantizedKvCache& cache = synced_cache(caches_, ctx, kv, quant_);
+  auto result = exact_attention_view(q, cache.view());
   require(out.size() == result.output.size(), "backend: out size mismatch");
   std::copy(result.output.begin(), result.output.end(), out.begin());
 }
@@ -22,16 +42,18 @@ void ExactQuantizedBackend::attend(std::span<const float> q,
 TokenPickerBackend::TokenPickerBackend(const TokenPickerConfig& config)
     : op_(config) {}
 
-void TokenPickerBackend::begin_sequence() {}
+void TokenPickerBackend::begin_sequence() { caches_.clear(); }
 
 void TokenPickerBackend::attend(std::span<const float> q, const KvHeadView& kv,
                                 std::span<float> out,
-                                const AttentionContext&) {
-  auto result = op_.attend(q, kv);
-  require(out.size() == result.output.size(), "backend: out size mismatch");
-  std::copy(result.output.begin(), result.output.end(), out.begin());
-  stats_.merge(result.stats);
-  max_dropped_mass_ = std::max(max_dropped_mass_, result.oracle_dropped_mass);
+                                const AttentionContext& ctx) {
+  QuantizedKvCache& cache =
+      synced_cache(caches_, ctx, kv, op_.config().quant);
+  op_.attend_cached(q, cache, &result_);
+  require(out.size() == result_.output.size(), "backend: out size mismatch");
+  std::copy(result_.output.begin(), result_.output.end(), out.begin());
+  stats_.merge(result_.stats);
+  max_dropped_mass_ = std::max(max_dropped_mass_, result_.oracle_dropped_mass);
 }
 
 SpAttenBackend::SpAttenBackend(const SpAttenConfig& config, int n_layer,
@@ -43,33 +65,48 @@ SpAttenBackend::SpAttenBackend(const SpAttenConfig& config, int n_layer,
   pruner_.begin_sequence(max_tokens);
 }
 
-void SpAttenBackend::begin_sequence() { pruner_.begin_sequence(max_tokens_); }
+void SpAttenBackend::begin_sequence() {
+  pruner_.begin_sequence(max_tokens_);
+  caches_.clear();
+}
 
 void SpAttenBackend::attend(std::span<const float> q, const KvHeadView& kv,
                             std::span<float> out, const AttentionContext& ctx) {
   require(kv.len > 0, "SpAttenBackend: empty KV view");
+  QuantizedKvCache& cache =
+      synced_cache(caches_, ctx, kv, config_.quant);
+  attend_view(q, cache.view(), out, ctx);
+}
+
+void SpAttenBackend::attend_view(std::span<const float> q,
+                                 const QuantizedKvView& kv,
+                                 std::span<float> out,
+                                 const AttentionContext& ctx) {
+  require(kv.len > 0, "SpAttenBackend: empty view");
   const auto active = pruner_.active_tokens(ctx.layer, kv.len);
   const auto full_vector_bits =
-      static_cast<std::uint64_t>(kv.head_dim) * config_.quant.total_bits;
+      static_cast<std::uint64_t>(kv.head_dim) * kv.key_params.total_bits;
 
-  // Quantize the active subset (12-bit operands for parity with ToPick).
-  const QuantizedKv qkv = quantize_kv(kv, config_.quant);
-  fx::QuantParams qp = config_.quant;
-  qp.scale = fx::choose_scale(q, config_.quant.total_bits);
-  const fx::QuantizedVector qq = fx::quantize(q, qp);
+  // 12-bit operands for parity with ToPick; the cache quantized K/V once at
+  // append, only the query is quantized per call.
+  fx::QuantParams qp = kv.key_params;
+  qp.scale = fx::choose_scale(q, kv.key_params.total_bits);
+  fx::quantize_into(q, qp, &q_scratch_);
   const double score_scale =
-      static_cast<double>(qp.scale) * qkv.keys[0].params.scale /
+      static_cast<double>(qp.scale) * kv.key_params.scale /
       std::sqrt(static_cast<double>(kv.head_dim));
 
-  std::vector<double> scores(active.size());
+  scores_.resize(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
-    scores[i] =
-        static_cast<double>(fx::dot_i64(qq, qkv.keys[active[i]])) * score_scale;
+    scores_[i] = static_cast<double>(row_dot_i64(q_scratch_.values.data(),
+                                                 kv.key(active[i]),
+                                                 kv.head_dim)) *
+                 score_scale;
   }
-  const double log_denom = log_sum_exp(scores.data(), scores.size());
-  std::vector<double> probs(active.size());
+  const double log_denom = log_sum_exp(scores_.data(), scores_.size());
+  probs_.resize(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
-    probs[i] = std::exp(scores[i] - log_denom);
+    probs_[i] = std::exp(scores_[i] - log_denom);
   }
 
   // Access accounting: K for every active token; V under local value pruning.
@@ -77,24 +114,28 @@ void SpAttenBackend::attend(std::span<const float> q, const KvHeadView& kv,
   stats_.k_bits_baseline += full_vector_bits * kv.len;
   stats_.v_bits_baseline += full_vector_bits * kv.len;
   stats_.k_bits_fetched += full_vector_bits * active.size();
+  // Every active token moved its full K vector — all chunks (clamped into
+  // the histogram's last bucket for >8-chunk configs).
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    stats_.record_chunk_fetch(kv.key_params.num_chunks());
+  }
 
-  const float v_scale = qkv.values[0].params.scale;
+  const float v_scale = kv.value_params.scale;
   std::fill(out.begin(), out.end(), 0.0f);
   std::size_t v_fetched = 0;
   for (std::size_t i = 0; i < active.size(); ++i) {
-    if (probs[i] <= config_.value_prob_threshold) continue;
+    if (probs_[i] <= config_.value_prob_threshold) continue;
     ++v_fetched;
-    const auto& value = qkv.values[active[i]];
+    const std::int16_t* value = kv.value(active[i]);
     for (std::size_t d = 0; d < kv.head_dim; ++d) {
-      out[d] += static_cast<float>(probs[i] *
-                                   static_cast<double>(value.values[d]) *
-                                   v_scale);
+      out[d] += static_cast<float>(probs_[i] *
+                                   static_cast<double>(value[d]) * v_scale);
     }
   }
   stats_.v_bits_fetched += full_vector_bits * v_fetched;
   stats_.tokens_kept += v_fetched;
 
-  pruner_.accumulate_importance(active, probs);
+  pruner_.accumulate_importance(active, probs_);
 }
 
 RecordingBackend::RecordingBackend(Sink sink) : sink_(std::move(sink)) {

@@ -1,12 +1,21 @@
 // model::AttentionBackend adapters: run the exact references, Token-Picker,
 // and SpAtten inside real transformer decoding. Used for PPL calibration,
 // the locality study (Fig. 4a), and the generation examples.
+//
+// All three quantized backends keep a per-(layer, head) QuantizedKvCache
+// synced to the float view they are handed, so decode quantizes each token
+// once at append instead of re-quantizing the whole head every step (the
+// pre-cache behavior made PPL-calibration runs quadratic in context length).
+// Results are bit-identical to the from-scratch path.
 #pragma once
 
 #include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/access_stats.h"
+#include "core/quantized_kv_cache.h"
 #include "core/spatten.h"
 #include "core/token_picker.h"
 #include "model/transformer.h"
@@ -20,9 +29,11 @@ class ExactQuantizedBackend final : public AttentionBackend {
   explicit ExactQuantizedBackend(const fx::QuantParams& quant = {});
   void attend(std::span<const float> q, const KvHeadView& kv,
               std::span<float> out, const AttentionContext& ctx) override;
+  void begin_sequence() override;
 
  private:
   fx::QuantParams quant_;
+  std::map<std::pair<int, int>, QuantizedKvCache> caches_;
 };
 
 // Token-Picker pruning inside decode; accumulates access statistics across
@@ -42,6 +53,8 @@ class TokenPickerBackend final : public AttentionBackend {
   TokenPickerAttention op_;
   AccessStats stats_;
   double max_dropped_mass_ = 0.0;
+  std::map<std::pair<int, int>, QuantizedKvCache> caches_;
+  TokenPickerResult result_;  // reused across attends
 };
 
 // SpAtten cascade pruning inside decode, with access accounting.
@@ -51,6 +64,11 @@ class SpAttenBackend final : public AttentionBackend {
                  std::size_t max_tokens);
   void attend(std::span<const float> q, const KvHeadView& kv,
               std::span<float> out, const AttentionContext& ctx) override;
+  // Planar-view entry point for callers that maintain the cache themselves
+  // (the serve engine). Token indices in the view must be chronological
+  // global ids — SpAtten never reclaims storage, so view position == id.
+  void attend_view(std::span<const float> q, const QuantizedKvView& kv,
+                   std::span<float> out, const AttentionContext& ctx);
   void begin_sequence() override;
 
   const AccessStats& stats() const { return stats_; }
@@ -63,6 +81,9 @@ class SpAttenBackend final : public AttentionBackend {
   int n_head_;
   std::size_t max_tokens_;
   AccessStats stats_;
+  std::map<std::pair<int, int>, QuantizedKvCache> caches_;
+  fx::QuantizedVector q_scratch_;
+  std::vector<double> scores_, probs_;  // reused across attends
 };
 
 // Exact float attention that hands every probability vector to a sink —

@@ -18,6 +18,8 @@ ProbabilityEstimator::ProbabilityEstimator(const EstimatorConfig& config)
 
 void ProbabilityEstimator::reset(std::size_t num_tokens) {
   denom_ = ShiftedExpSum();
+  // assign() reuses contribution_'s existing allocation — reset is called
+  // once per attention instance on the decode hot path.
   contribution_.assign(num_tokens,
                        std::numeric_limits<double>::quiet_NaN());
 }

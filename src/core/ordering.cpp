@@ -9,8 +9,17 @@ namespace topick {
 
 std::vector<std::size_t> make_visit_order(std::size_t num_tokens,
                                           OrderingPolicy policy, Rng* rng) {
-  require(num_tokens > 0, "make_visit_order: need at least one token");
   std::vector<std::size_t> order;
+  make_visit_order(num_tokens, policy, rng, &order);
+  return order;
+}
+
+void make_visit_order(std::size_t num_tokens, OrderingPolicy policy, Rng* rng,
+                      std::vector<std::size_t>* out) {
+  require(num_tokens > 0, "make_visit_order: need at least one token");
+  require(out != nullptr, "make_visit_order: null output");
+  std::vector<std::size_t>& order = *out;
+  order.clear();
   order.reserve(num_tokens);
 
   switch (policy) {
@@ -39,7 +48,6 @@ std::vector<std::size_t> make_visit_order(std::size_t num_tokens,
       break;
     }
   }
-  return order;
 }
 
 }  // namespace topick

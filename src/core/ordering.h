@@ -24,4 +24,9 @@ std::vector<std::size_t> make_visit_order(std::size_t num_tokens,
                                           OrderingPolicy policy,
                                           Rng* rng = nullptr);
 
+// Allocation-free variant: writes the order into caller scratch (cleared
+// first, capacity reused). The hot-path form.
+void make_visit_order(std::size_t num_tokens, OrderingPolicy policy, Rng* rng,
+                      std::vector<std::size_t>* out);
+
 }  // namespace topick

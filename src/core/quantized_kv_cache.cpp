@@ -1,0 +1,411 @@
+#include "core/quantized_kv_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expsum.h"
+#include "common/require.h"
+#include "fixedpoint/chunks.h"
+
+namespace topick {
+
+namespace {
+
+// Must mirror fx::choose_scale exactly — same expression, same float ops —
+// so a scale derived from the running max equals the from-scratch one.
+float scale_for_amax(float amax, int total_bits) {
+  if (amax == 0.0f) return 1.0f;
+  const auto qmax = static_cast<float>((1 << (total_bits - 1)) - 1);
+  return amax / qmax;
+}
+
+float row_amax(std::span<const float> xs) {
+  float amax = 0.0f;
+  for (float x : xs) amax = std::max(amax, std::abs(x));
+  return amax;
+}
+
+// Must mirror fx::quantize's element math exactly (round-to-nearest via
+// lround, saturate to [qmin, qmax]).
+void quantize_row(std::span<const float> xs, const fx::QuantParams& params,
+                  std::int16_t* out) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto q =
+        static_cast<std::int32_t>(std::lround(xs[i] / params.scale));
+    out[i] = static_cast<std::int16_t>(
+        std::clamp(q, params.qmin(), params.qmax()));
+  }
+}
+
+}  // namespace
+
+std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
+                         std::size_t n) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+// ---- QuantizedKvStore -------------------------------------------------------
+
+void QuantizedKvStore::reset(const fx::QuantParams& kp,
+                             const fx::QuantParams& vp, std::size_t dim) {
+  key_params = kp;
+  value_params = vp;
+  head_dim = dim;
+  key_planes.resize(static_cast<std::size_t>(kp.num_chunks()));
+  clear_rows();
+}
+
+void QuantizedKvStore::clear_rows() {
+  len = 0;
+  keys.clear();
+  values.clear();
+  for (auto& plane : key_planes) plane.clear();
+}
+
+void QuantizedKvStore::push_row(const std::int16_t* k_row,
+                                const std::int16_t* v_row) {
+  keys.insert(keys.end(), k_row, k_row + head_dim);
+  values.insert(values.end(), v_row, v_row + head_dim);
+  const int num_chunks = key_params.num_chunks();
+  for (int b = 0; b < num_chunks; ++b) {
+    auto& plane = key_planes[static_cast<std::size_t>(b)];
+    const std::size_t base = plane.size();
+    plane.resize(base + head_dim);
+    for (std::size_t d = 0; d < head_dim; ++d) {
+      // The chunk's contribution to the partial dot: non-negative low bits
+      // for b > 0, the signed prefix for b == 0 (see fixedpoint/chunks.h).
+      plane[base + d] = static_cast<std::int16_t>(
+          fx::partial_value(k_row[d], b + 1, key_params) -
+          fx::partial_value(k_row[d], b, key_params));
+    }
+  }
+  ++len;
+}
+
+void QuantizedKvStore::compact(const std::uint8_t* keep) {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < len; ++r) {
+    if (!keep[r]) continue;
+    if (w != r) {
+      std::copy_n(keys.begin() + static_cast<std::ptrdiff_t>(r * head_dim),
+                  head_dim,
+                  keys.begin() + static_cast<std::ptrdiff_t>(w * head_dim));
+      std::copy_n(values.begin() + static_cast<std::ptrdiff_t>(r * head_dim),
+                  head_dim,
+                  values.begin() + static_cast<std::ptrdiff_t>(w * head_dim));
+      for (auto& plane : key_planes) {
+        std::copy_n(plane.begin() + static_cast<std::ptrdiff_t>(r * head_dim),
+                    head_dim,
+                    plane.begin() + static_cast<std::ptrdiff_t>(w * head_dim));
+      }
+    }
+    ++w;
+  }
+  len = w;
+  keys.resize(len * head_dim);
+  values.resize(len * head_dim);
+  for (auto& plane : key_planes) plane.resize(len * head_dim);
+}
+
+QuantizedKvView QuantizedKvStore::view() const {
+  QuantizedKvView v;
+  v.len = len;
+  v.head_dim = head_dim;
+  v.key_params = key_params;
+  v.value_params = value_params;
+  v.keys = keys.data();
+  v.values = values.data();
+  v.key_planes = key_planes.data();
+  return v;
+}
+
+// ---- QuantizedKvCache -------------------------------------------------------
+
+QuantizedKvCache::QuantizedKvCache() : QuantizedKvCache(0, Config{}) {}
+
+QuantizedKvCache::QuantizedKvCache(const Config& config)
+    : QuantizedKvCache(0, config) {}
+
+QuantizedKvCache::QuantizedKvCache(std::size_t head_dim)
+    : QuantizedKvCache(head_dim, Config{}) {}
+
+QuantizedKvCache::QuantizedKvCache(std::size_t head_dim, const Config& config)
+    : config_(config), head_dim_(head_dim) {
+  require(config.headroom >= 1.0f,
+          "QuantizedKvCache: headroom must be >= 1");
+  store_.reset(config_.base, config_.base, head_dim_);
+}
+
+void QuantizedKvCache::clear() {
+  store_.reset(config_.base, config_.base, head_dim_);
+  key_f32_.clear();
+  value_f32_.clear();
+  key_row_amax_.clear();
+  value_row_amax_.clear();
+  key_amax_ = 0.0f;
+  value_amax_ = 0.0f;
+  ids_.clear();
+  key_rescales_ = 0;
+  value_rescales_ = 0;
+}
+
+std::span<const float> QuantizedKvCache::key_f32(std::size_t pos) const {
+  return {key_f32_.data() + pos * head_dim_, head_dim_};
+}
+
+std::span<const float> QuantizedKvCache::value_f32(std::size_t pos) const {
+  return {value_f32_.data() + pos * head_dim_, head_dim_};
+}
+
+void QuantizedKvCache::requantize_all() {
+  store_.clear_rows();
+  k_row_scratch_.resize(head_dim_);
+  v_row_scratch_.resize(head_dim_);
+  const std::size_t n = ids_.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    quantize_row(key_f32(r), store_.key_params, k_row_scratch_.data());
+    quantize_row(value_f32(r), store_.value_params, v_row_scratch_.data());
+    store_.push_row(k_row_scratch_.data(), v_row_scratch_.data());
+  }
+}
+
+bool QuantizedKvCache::ensure_scales(float key_amax, float value_amax) {
+  const float k_target = scale_for_amax(key_amax, store_.key_params.total_bits);
+  const float v_target =
+      scale_for_amax(value_amax, store_.value_params.total_bits);
+  bool requant = false;
+  if (config_.headroom == 1.0f) {
+    // Exact mode: the scale tracks choose_scale() bit-for-bit, shrinking on
+    // evict as well as growing on append.
+    if (store_.key_params.scale != k_target) {
+      store_.key_params.scale = k_target;
+      ++key_rescales_;
+      requant = true;
+    }
+    if (store_.value_params.scale != v_target) {
+      store_.value_params.scale = v_target;
+      ++value_rescales_;
+      requant = true;
+    }
+  } else {
+    // Amortized mode: hold the scale inside [target, target * headroom].
+    // Below target the grid clips; above target * headroom it is needlessly
+    // coarse (this band also covers the initial base scale, which would
+    // otherwise quantize small-magnitude data to all zeros). Either breach
+    // re-quantizes to the band's top, so max|x| drift within the headroom
+    // costs nothing.
+    const float k_hi = k_target * config_.headroom;
+    if (store_.key_params.scale < k_target || store_.key_params.scale > k_hi) {
+      store_.key_params.scale = k_hi;
+      ++key_rescales_;
+      requant = true;
+    }
+    const float v_hi = v_target * config_.headroom;
+    if (store_.value_params.scale < v_target ||
+        store_.value_params.scale > v_hi) {
+      store_.value_params.scale = v_hi;
+      ++value_rescales_;
+      requant = true;
+    }
+  }
+  key_amax_ = key_amax;
+  value_amax_ = value_amax;
+  if (requant) requantize_all();
+  return requant;
+}
+
+void QuantizedKvCache::push_quantized(const float* k_row, const float* v_row) {
+  k_row_scratch_.resize(head_dim_);
+  v_row_scratch_.resize(head_dim_);
+  quantize_row({k_row, head_dim_}, store_.key_params, k_row_scratch_.data());
+  quantize_row({v_row, head_dim_}, store_.value_params, v_row_scratch_.data());
+  store_.push_row(k_row_scratch_.data(), v_row_scratch_.data());
+}
+
+void QuantizedKvCache::append(std::span<const float> k,
+                              std::span<const float> v) {
+  append(k, v, ids_.empty() ? 0 : ids_.back() + 1);
+}
+
+void QuantizedKvCache::append(std::span<const float> k,
+                              std::span<const float> v, std::size_t id) {
+  require(head_dim_ > 0, "QuantizedKvCache: head_dim not set");
+  require(k.size() == head_dim_ && v.size() == head_dim_,
+          "QuantizedKvCache::append: head_dim mismatch");
+  const float ka = row_amax(k);
+  const float va = row_amax(v);
+  key_f32_.insert(key_f32_.end(), k.begin(), k.end());
+  value_f32_.insert(value_f32_.end(), v.begin(), v.end());
+  key_row_amax_.push_back(ka);
+  value_row_amax_.push_back(va);
+  ids_.push_back(id);
+  // A record-setting row triggers the whole-head requantize, which rebuilds
+  // every row (this one included) from the retained floats; otherwise only
+  // the new row is quantized.
+  if (!ensure_scales(std::max(key_amax_, ka), std::max(value_amax_, va))) {
+    push_quantized(k.data(), v.data());
+  }
+}
+
+void QuantizedKvCache::append_rows(const float* k_rows, const float* v_rows,
+                                   std::size_t count, std::size_t first_id) {
+  require(head_dim_ > 0, "QuantizedKvCache: head_dim not set");
+  if (count == 0) return;
+  float ka = key_amax_;
+  float va = value_amax_;
+  key_f32_.insert(key_f32_.end(), k_rows, k_rows + count * head_dim_);
+  value_f32_.insert(value_f32_.end(), v_rows, v_rows + count * head_dim_);
+  for (std::size_t r = 0; r < count; ++r) {
+    const float rka = row_amax({k_rows + r * head_dim_, head_dim_});
+    const float rva = row_amax({v_rows + r * head_dim_, head_dim_});
+    ka = std::max(ka, rka);
+    va = std::max(va, rva);
+    key_row_amax_.push_back(rka);
+    value_row_amax_.push_back(rva);
+    ids_.push_back(first_id + r);
+  }
+  // At most one whole-head requantize for the batch; it rebuilds the batch
+  // rows too (their floats are already in place), so only quantize them here
+  // when no rescale fired.
+  if (!ensure_scales(ka, va)) {
+    for (std::size_t r = 0; r < count; ++r) {
+      push_quantized(k_rows + r * head_dim_, v_rows + r * head_dim_);
+    }
+  }
+}
+
+void QuantizedKvCache::rebuild(const KvHeadView& view) {
+  head_dim_ = view.head_dim;
+  clear();
+  append_rows(view.keys, view.values, view.len, 0);
+}
+
+std::size_t QuantizedKvCache::evict_ids(std::span<const std::size_t> ids) {
+  if (ids.empty() || store_.len == 0) return 0;
+  evict_scratch_.assign(ids.begin(), ids.end());
+  std::sort(evict_scratch_.begin(), evict_scratch_.end());
+  const std::size_t n = ids_.size();
+  keep_scratch_.assign(n, 1);
+  std::size_t evicted = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (std::binary_search(evict_scratch_.begin(), evict_scratch_.end(),
+                           ids_[r])) {
+      keep_scratch_[r] = 0;
+      ++evicted;
+    }
+  }
+  if (evicted == 0) return 0;
+
+  store_.compact(keep_scratch_.data());
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!keep_scratch_[r]) continue;
+    if (w != r) {
+      std::copy_n(key_f32_.begin() + static_cast<std::ptrdiff_t>(r * head_dim_),
+                  head_dim_,
+                  key_f32_.begin() + static_cast<std::ptrdiff_t>(w * head_dim_));
+      std::copy_n(
+          value_f32_.begin() + static_cast<std::ptrdiff_t>(r * head_dim_),
+          head_dim_,
+          value_f32_.begin() + static_cast<std::ptrdiff_t>(w * head_dim_));
+      key_row_amax_[w] = key_row_amax_[r];
+      value_row_amax_[w] = value_row_amax_[r];
+      ids_[w] = ids_[r];
+    }
+    ++w;
+  }
+  key_f32_.resize(w * head_dim_);
+  value_f32_.resize(w * head_dim_);
+  key_row_amax_.resize(w);
+  value_row_amax_.resize(w);
+  ids_.resize(w);
+
+  // The record holder may have left: recompute the live maxima (cheap — one
+  // float per row) and shrink-rescale if the scale must follow.
+  float ka = 0.0f, va = 0.0f;
+  for (std::size_t r = 0; r < w; ++r) {
+    ka = std::max(ka, key_row_amax_[r]);
+    va = std::max(va, value_row_amax_[r]);
+  }
+  ensure_scales(ka, va);
+  return evicted;
+}
+
+// ---- helpers ----------------------------------------------------------------
+
+void sync_cache_to_view(QuantizedKvCache& cache, const KvHeadView& view) {
+  const std::size_t n = cache.len();
+  if (view.len < n) {
+    cache.rebuild(view);
+    return;
+  }
+  if (n > 0) {
+    // Guard against a restarted sequence of the same-or-longer length: the
+    // last shared row (keys AND values) must still hold the same floats.
+    const auto ck = cache.key_f32(n - 1);
+    const auto cv = cache.value_f32(n - 1);
+    if (!std::equal(ck.begin(), ck.end(), view.key(n - 1).begin()) ||
+        !std::equal(cv.begin(), cv.end(), view.value(n - 1).begin())) {
+      cache.rebuild(view);
+      return;
+    }
+  }
+  if (view.len > n) {
+    cache.append_rows(view.keys + n * view.head_dim,
+                      view.values + n * view.head_dim, view.len - n, n);
+  }
+}
+
+void exact_attention_view(std::span<const float> q, const QuantizedKvView& kv,
+                          fx::QuantizedVector* q_scratch,
+                          ExactAttentionResult* result) {
+  require(kv.len > 0, "exact_attention_view: empty view");
+  require(q.size() == kv.head_dim, "exact_attention_view: q size");
+
+  fx::QuantParams qp = kv.key_params;
+  qp.scale = fx::choose_scale(q, kv.key_params.total_bits);
+  fx::quantize_into(q, qp, q_scratch);
+
+  const double score_scale =
+      static_cast<double>(qp.scale) * kv.key_params.scale /
+      std::sqrt(static_cast<double>(kv.head_dim));
+
+  result->scores.resize(kv.len);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    result->scores[t] =
+        static_cast<double>(
+            row_dot_i64(q_scratch->values.data(), kv.key(t), kv.head_dim)) *
+        score_scale;
+  }
+
+  const double log_denom = log_sum_exp(result->scores.data(), kv.len);
+  result->probs.resize(kv.len);
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    result->probs[t] = std::exp(result->scores[t] - log_denom);
+  }
+
+  result->output.assign(kv.head_dim, 0.0f);
+  const float v_scale = kv.value_params.scale;
+  for (std::size_t t = 0; t < kv.len; ++t) {
+    const std::int16_t* value = kv.value(t);
+    const auto p = result->probs[t];
+    for (std::size_t d = 0; d < kv.head_dim; ++d) {
+      result->output[d] += static_cast<float>(
+          p * static_cast<double>(value[d]) * v_scale);
+    }
+  }
+}
+
+ExactAttentionResult exact_attention_view(std::span<const float> q,
+                                          const QuantizedKvView& kv) {
+  ExactAttentionResult result;
+  fx::QuantizedVector q_scratch;
+  exact_attention_view(q, kv, &q_scratch, &result);
+  return result;
+}
+
+}  // namespace topick

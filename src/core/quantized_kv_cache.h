@@ -1,0 +1,179 @@
+// Incrementally quantized, chunk-planar KV storage — the decode hot path.
+//
+// quantize_kv() re-quantizes an entire head every decode step because the
+// shared symmetric scale depends on the head's max|x| over the live tokens.
+// But that is the *only* thing it depends on: while the live set's max|x| is
+// unchanged, every already-quantized token is bit-identical to what a fresh
+// quantize_kv() would produce from the same floats. QuantizedKvCache
+// therefore quantizes each token once at append, tracks the live set's
+// max|x| (keys and values separately, via per-row maxima), and re-quantizes
+// the whole head only on the rare step where that max changes — a new record
+// on append, or the record holder leaving on evict. With headroom == 1
+// (default) the integers, scales, and every downstream pruning decision are
+// bit-identical to the from-scratch path (tests/quantized_kv_cache_test.cpp
+// proves it over randomized append/evict interleavings); headroom > 1 trades
+// that exactness for even fewer rescales.
+//
+// Keys are stored twice, SoA-style:
+//   * a flat token-major int16 arena (full values) for exact dots, and
+//   * chunk-planar planes — one contiguous int16 plane per chunk holding
+//     partial_value(k, b+1) - partial_value(k, b) — so the estimation pass's
+//     chunk_dot_delta becomes a contiguous plane walk instead of per-element
+//     double masking.
+// Values live in a flat arena; nothing on the per-token heap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/exact_attention.h"
+#include "fixedpoint/quant.h"
+#include "model/kv_cache.h"
+
+namespace topick {
+
+// Non-owning view over chunk-planar quantized K/V. The unit the attention
+// hot paths consume; produced by QuantizedKvCache (incremental) and by
+// transient stores built from legacy AoS QuantizedKv inputs.
+struct QuantizedKvView {
+  std::size_t len = 0;
+  std::size_t head_dim = 0;
+  fx::QuantParams key_params;    // shared scale across the head's keys
+  fx::QuantParams value_params;  // shared scale across the head's values
+  const std::int16_t* keys = nullptr;    // (len, head_dim) token-major
+  const std::int16_t* values = nullptr;  // (len, head_dim) token-major
+  // key_params.num_chunks() planes, each (len, head_dim) token-major.
+  const std::vector<std::int16_t>* key_planes = nullptr;
+
+  const std::int16_t* key(std::size_t t) const { return keys + t * head_dim; }
+  const std::int16_t* value(std::size_t t) const {
+    return values + t * head_dim;
+  }
+  const std::int16_t* key_plane_row(int chunk, std::size_t t) const {
+    return key_planes[chunk].data() + t * head_dim;
+  }
+};
+
+// Contiguous int16 dot product (int64 accumulator) — the plane-walk kernel.
+std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
+                         std::size_t n);
+
+// Owning chunk-planar storage for already-quantized rows. QuantizedKvCache
+// embeds one; TokenPickerAttention builds transient ones from AoS inputs.
+struct QuantizedKvStore {
+  fx::QuantParams key_params;
+  fx::QuantParams value_params;
+  std::size_t head_dim = 0;
+  std::size_t len = 0;
+  std::vector<std::int16_t> keys;
+  std::vector<std::int16_t> values;
+  std::vector<std::vector<std::int16_t>> key_planes;  // [num_chunks]
+
+  // Sets precision/scale and head_dim; drops all rows, keeps capacity.
+  void reset(const fx::QuantParams& key_params,
+             const fx::QuantParams& value_params, std::size_t head_dim);
+  void clear_rows();
+  // Appends one already-quantized token row (computes its key planes).
+  void push_row(const std::int16_t* k_row, const std::int16_t* v_row);
+  // Stable in-place removal of rows where keep[r] == 0.
+  void compact(const std::uint8_t* keep);
+
+  QuantizedKvView view() const;
+};
+
+class QuantizedKvCache {
+ public:
+  struct Config {
+    fx::QuantParams base{};  // precision; scales are managed by the cache
+    // Scale slack. 1.0 (default) reproduces choose_scale() exactly —
+    // bit-identical to quantize-from-scratch. > 1.0 holds the scale inside a
+    // [max/qmax, headroom*max/qmax] hysteresis band: max|x| drift within the
+    // band costs no rescale, at the cost of bit-exactness (coarser grid);
+    // only a band breach (growth past the top, or an evict dropping the max
+    // by more than the headroom factor) re-quantizes.
+    float headroom = 1.0f;
+  };
+
+  QuantizedKvCache();
+  explicit QuantizedKvCache(const Config& config);
+  explicit QuantizedKvCache(std::size_t head_dim);
+  QuantizedKvCache(std::size_t head_dim, const Config& config);
+
+  std::size_t len() const { return store_.len; }
+  bool empty() const { return store_.len == 0; }
+  std::size_t head_dim() const { return head_dim_; }
+
+  void clear();
+
+  // Appends one token; `id` is the caller's stable token id (the default
+  // overload numbers tokens by append order).
+  void append(std::span<const float> k, std::span<const float> v);
+  void append(std::span<const float> k, std::span<const float> v,
+              std::size_t id);
+  // Bulk append of `count` contiguous (count, head_dim) row-major rows with
+  // ids first_id, first_id+1, ...; rescales at most once for the batch.
+  void append_rows(const float* k_rows, const float* v_rows, std::size_t count,
+                   std::size_t first_id);
+  // One-shot rebuild from a float view (ids 0..len-1) with a single scale
+  // computation; bit-identical to quantize_kv() at headroom 1.
+  void rebuild(const KvHeadView& view);
+
+  // Evicts tokens by stable id (order-preserving compaction); unknown ids are
+  // ignored. Returns the number of tokens removed. If the evicted set held
+  // the live max|x|, the head re-quantizes to the shrunk scale (headroom 1)
+  // so the result stays bit-identical to quantizing the survivors fresh.
+  std::size_t evict_ids(std::span<const std::size_t> ids);
+
+  const std::vector<std::size_t>& ids() const { return ids_; }
+  std::size_t id_at(std::size_t pos) const { return ids_[pos]; }
+  // Retained float rows (the rescale source, and the sync guard's witness).
+  std::span<const float> key_f32(std::size_t pos) const;
+  std::span<const float> value_f32(std::size_t pos) const;
+
+  QuantizedKvView view() const { return store_.view(); }
+  const fx::QuantParams& key_params() const { return store_.key_params; }
+  const fx::QuantParams& value_params() const { return store_.value_params; }
+  const Config& config() const { return config_; }
+
+  // Diagnostics: whole-head re-quantizations since construction/clear().
+  std::uint64_t key_rescales() const { return key_rescales_; }
+  std::uint64_t value_rescales() const { return value_rescales_; }
+
+ private:
+  // Adjusts the shared scales for new live maxima; when a scale changes it
+  // re-quantizes every row from the retained floats and returns true.
+  bool ensure_scales(float key_amax, float value_amax);
+  void requantize_all();
+  void push_quantized(const float* k_row, const float* v_row);
+
+  Config config_;
+  std::size_t head_dim_ = 0;
+  QuantizedKvStore store_;
+  std::vector<float> key_f32_, value_f32_;        // (len, head_dim)
+  std::vector<float> key_row_amax_, value_row_amax_;
+  float key_amax_ = 0.0f, value_amax_ = 0.0f;
+  std::vector<std::size_t> ids_;
+  std::uint64_t key_rescales_ = 0, value_rescales_ = 0;
+  std::vector<std::int16_t> k_row_scratch_, v_row_scratch_;
+  std::vector<std::uint8_t> keep_scratch_;
+  std::vector<std::size_t> evict_scratch_;
+};
+
+// Append-only sync for transformer decode: grows `cache` by the view's new
+// suffix rows; rebuilds from scratch when the view shrank or the last shared
+// row's floats diverged (a sequence restarted without begin_sequence()).
+void sync_cache_to_view(QuantizedKvCache& cache, const KvHeadView& view);
+
+// Exact quantized attention over a planar view — bit-identical to
+// exact_attention_quantized() when the view holds the same quantized data
+// (which an incremental cache at headroom 1 guarantees). The out-param form
+// reuses the result's and the query scratch's buffers across calls (the
+// serve engine's exact-backend decode loop).
+void exact_attention_view(std::span<const float> q, const QuantizedKvView& kv,
+                          fx::QuantizedVector* q_scratch,
+                          ExactAttentionResult* result);
+ExactAttentionResult exact_attention_view(std::span<const float> q,
+                                          const QuantizedKvView& kv);
+
+}  // namespace topick

@@ -5,7 +5,6 @@
 #include "common/expsum.h"
 #include "common/require.h"
 #include "fixedpoint/chunks.h"
-#include "fixedpoint/margin.h"
 
 namespace topick {
 
@@ -33,22 +32,19 @@ void PrunePersistence::forget(std::size_t token) {
 TokenPickerAttention::TokenPickerAttention(const TokenPickerConfig& config)
     : config_(config),
       estimator_(config.estimator),
-      order_rng_(config.order_seed) {}
+      order_rng_(config.order_seed),
+      view_scratch_(QuantizedKvCache::Config{config.quant, 1.0f}) {}
 
 TokenPickerResult TokenPickerAttention::attend(std::span<const float> q,
                                                const KvHeadView& kv) {
   require(kv.len > 0, "TokenPickerAttention: empty KV view");
   require(q.size() == kv.head_dim, "TokenPickerAttention: q size mismatch");
 
-  const QuantizedKv qkv = quantize_kv(kv, config_.quant);
-  fx::QuantParams qp = config_.quant;
-  qp.scale = fx::choose_scale(q, config_.quant.total_bits);
-  const fx::QuantizedVector qq = fx::quantize(q, qp);
-
-  const double score_scale =
-      static_cast<double>(qp.scale) * qkv.keys[0].params.scale /
-      std::sqrt(static_cast<double>(kv.head_dim));
-  return attend_quantized(qq, qkv, score_scale);
+  // One-shot bulk rebuild: a single scale computation over the view, exactly
+  // what quantize_kv() produced (no incremental history to differ on).
+  view_scratch_.rebuild(kv);
+  attend_cached(q, view_scratch_, &result_scratch_);
+  return result_scratch_;
 }
 
 TokenPickerResult TokenPickerAttention::attend_quantized(
@@ -57,43 +53,84 @@ TokenPickerResult TokenPickerAttention::attend_quantized(
   require(len > 0, "attend_quantized: no tokens");
   require(kv.values.size() == len, "attend_quantized: K/V length mismatch");
   const std::size_t head_dim = q.size();
-  const fx::QuantParams& kp = kv.keys[0].params;
+
+  aos_scratch_.reset(kv.keys[0].params, kv.values[0].params, head_dim);
+  for (std::size_t t = 0; t < len; ++t) {
+    require(kv.keys[t].size() == head_dim && kv.values[t].size() == head_dim,
+            "attend_quantized: row size mismatch");
+    aos_scratch_.push_row(kv.keys[t].values.data(), kv.values[t].values.data());
+  }
+  attend_view(q, aos_scratch_.view(), score_scale, &result_scratch_);
+  return result_scratch_;
+}
+
+void TokenPickerAttention::attend_cached(std::span<const float> q,
+                                         const QuantizedKvCache& cache,
+                                         TokenPickerResult* result) {
+  require(cache.len() > 0, "attend_cached: empty cache");
+  require(q.size() == cache.head_dim(), "attend_cached: q size mismatch");
+
+  fx::QuantParams qp = config_.quant;
+  qp.scale = fx::choose_scale(q, config_.quant.total_bits);
+  fx::quantize_into(q, qp, &q_scratch_);
+
+  const double score_scale =
+      static_cast<double>(qp.scale) * cache.key_params().scale /
+      std::sqrt(static_cast<double>(cache.head_dim()));
+  attend_view(q_scratch_, cache.view(), score_scale, result);
+}
+
+void TokenPickerAttention::attend_view(const fx::QuantizedVector& q,
+                                       const QuantizedKvView& kv,
+                                       double score_scale,
+                                       TokenPickerResult* result) {
+  const std::size_t len = kv.len;
+  require(len > 0, "attend_view: no tokens");
+  const std::size_t head_dim = kv.head_dim;
+  require(q.size() == head_dim, "attend_view: q/head_dim mismatch");
+  const fx::QuantParams& kp = kv.key_params;
   const int num_chunks = kp.num_chunks();
 
-  TokenPickerResult result;
-  result.decisions.reserve(len);
-  estimator_.reset(len);
+  result->stats = AccessStats{};
+  result->decisions.clear();
+  result->log_denominator = 0.0;
+  result->log_denominator_estimator = 0.0;
+  result->oracle_dropped_mass = 0.0;
 
-  const fx::MarginTable margins(q, kp);
-  const auto order = make_visit_order(
-      len, config_.order,
-      config_.order == OrderingPolicy::random_order ? &order_rng_ : nullptr);
+  estimator_.reset(len);
+  margins_.rebuild(q, kp);
+  make_visit_order(len, config_.order,
+                   config_.order == OrderingPolicy::random_order ? &order_rng_
+                                                                 : nullptr,
+                   &order_);
 
   const auto chunk_bits_per_fetch =
       static_cast<std::uint64_t>(head_dim) * kp.chunk_bits;
   const auto full_vector_bits =
       static_cast<std::uint64_t>(head_dim) * kp.total_bits;
 
-  result.stats.tokens_total = len;
-  result.stats.k_bits_baseline = full_vector_bits * len;
-  result.stats.v_bits_baseline = full_vector_bits * len;
+  result->stats.tokens_total = len;
+  result->stats.k_bits_baseline = full_vector_bits * len;
+  result->stats.v_bits_baseline = full_vector_bits * len;
 
-  std::vector<double> survivor_scores(len, 0.0);
-  std::vector<bool> kept(len, false);
+  survivor_scores_.assign(len, 0.0);
+  kept_.assign(len, 0);
 
-  for (const std::size_t token : order) {
-    const auto& key = kv.keys[token];
+  const std::int16_t* qd = q.values.data();
+  for (const std::size_t token : order_) {
     std::int64_t partial = 0;
     TokenDecision decision;
     decision.token = token;
 
     bool pruned = false;
     for (int b = 0; b < num_chunks; ++b) {
-      partial += fx::chunk_dot_delta_i64(q, key, b);
-      result.stats.k_bits_fetched += chunk_bits_per_fetch;
+      // The contiguous plane walk: this chunk's contribution across the
+      // whole key row in one int16 stream.
+      partial += row_dot_i64(qd, kv.key_plane_row(b, token), head_dim);
+      result->stats.k_bits_fetched += chunk_bits_per_fetch;
       ++decision.chunks_fetched;
 
-      const auto& margin = margins.at_level(b + 1);
+      const auto& margin = margins_.at_level(b + 1);
       const double s_max =
           static_cast<double>(partial + margin.max_margin) * score_scale;
       const double s_min =
@@ -111,59 +148,58 @@ TokenPickerResult TokenPickerAttention::attend_quantized(
     if (!pruned) {
       decision.kept = true;
       decision.final_score = static_cast<double>(partial) * score_scale;
-      survivor_scores[token] = decision.final_score;
-      kept[token] = true;
-      ++result.stats.tokens_kept;
-      result.stats.v_bits_fetched += full_vector_bits;
+      survivor_scores_[token] = decision.final_score;
+      kept_[token] = 1;
+      ++result->stats.tokens_kept;
+      result->stats.v_bits_fetched += full_vector_bits;
     }
-    result.stats
-        .chunk_histogram[static_cast<std::size_t>(decision.chunks_fetched - 1)]++;
-    result.decisions.push_back(decision);
+    result->stats.record_chunk_fetch(decision.chunks_fetched);
+    result->decisions.push_back(decision);
   }
 
   // Step 1: renormalized softmax over survivors, weighted V sum. The final
   // denominator is the exact log-sum-exp over survivor scores; under
   // remove_on_prune this is what the DAG holds after step 0.
-  result.log_denominator_estimator = estimator_.log_denominator();
-  {
-    std::vector<double> surv;
-    surv.reserve(result.stats.tokens_kept);
-    for (std::size_t t = 0; t < len; ++t) {
-      if (kept[t]) surv.push_back(survivor_scores[t]);
-    }
-    require(!surv.empty(),
-            "token_picker: at least one token must survive estimation");
-    result.log_denominator = log_sum_exp(surv.data(), surv.size());
-  }
-  result.output.assign(head_dim, 0.0f);
-  const float v_scale = kv.values[0].params.scale;
+  result->log_denominator_estimator = estimator_.log_denominator();
+  surv_compact_.clear();
   for (std::size_t t = 0; t < len; ++t) {
-    if (!kept[t]) continue;
-    const double p = std::exp(survivor_scores[t] - result.log_denominator);
-    const auto& value = kv.values[t];
+    if (kept_[t]) surv_compact_.push_back(survivor_scores_[t]);
+  }
+  require(!surv_compact_.empty(),
+          "token_picker: at least one token must survive estimation");
+  result->log_denominator =
+      log_sum_exp(surv_compact_.data(), surv_compact_.size());
+
+  result->output.assign(head_dim, 0.0f);
+  const float v_scale = kv.value_params.scale;
+  for (std::size_t t = 0; t < len; ++t) {
+    if (!kept_[t]) continue;
+    const double p = std::exp(survivor_scores_[t] - result->log_denominator);
+    const std::int16_t* value = kv.value(t);
     for (std::size_t d = 0; d < head_dim; ++d) {
-      result.output[d] += static_cast<float>(
-          p * static_cast<double>(value.values[d]) * v_scale);
+      result->output[d] += static_cast<float>(
+          p * static_cast<double>(value[d]) * v_scale);
     }
   }
 
   // Oracle diagnostic: true probability mass of pruned tokens under the full
   // quantized softmax (uses data already in memory; no fetch accounting).
-  {
-    std::vector<double> all_scores(len);
+  // Gated: this is the one remaining O(len * head_dim) pass, so serve/bench
+  // hot loops switch it off.
+  if (config_.compute_oracle_mass) {
+    oracle_scores_.resize(len);
     for (std::size_t t = 0; t < len; ++t) {
-      all_scores[t] =
-          static_cast<double>(fx::dot_i64(q, kv.keys[t])) * score_scale;
+      oracle_scores_[t] =
+          static_cast<double>(row_dot_i64(qd, kv.key(t), head_dim)) *
+          score_scale;
     }
-    const double log_denom = log_sum_exp(all_scores.data(), len);
+    const double log_denom = log_sum_exp(oracle_scores_.data(), len);
     double dropped = 0.0;
     for (std::size_t t = 0; t < len; ++t) {
-      if (!kept[t]) dropped += std::exp(all_scores[t] - log_denom);
+      if (!kept_[t]) dropped += std::exp(oracle_scores_[t] - log_denom);
     }
-    result.oracle_dropped_mass = dropped;
+    result->oracle_dropped_mass = dropped;
   }
-
-  return result;
 }
 
 }  // namespace topick

@@ -9,6 +9,12 @@
 //   3. Survivors enter a renormalized softmax; only their V vectors are
 //      fetched for the weighted sum.
 // Every DRAM bit that would move is accounted in AccessStats.
+//
+// The hot path runs over QuantizedKvView (chunk-planar, quantized once at
+// append by QuantizedKvCache) and is allocation-free after warm-up: scratch
+// buffers and the result's vectors are reused across calls. The float-view
+// and AoS entry points below rebuild a scratch store per call and remain
+// bit-identical to the historical quantize-from-scratch behavior.
 #pragma once
 
 #include <optional>
@@ -19,6 +25,8 @@
 #include "core/estimator.h"
 #include "core/exact_attention.h"
 #include "core/ordering.h"
+#include "core/quantized_kv_cache.h"
+#include "fixedpoint/margin.h"
 #include "fixedpoint/quant.h"
 #include "model/kv_cache.h"
 
@@ -30,6 +38,11 @@ struct TokenPickerConfig {
   OrderingPolicy order = OrderingPolicy::reverse_chrono_first_promoted;
   // When set, the random ordering policy uses this seed.
   std::uint64_t order_seed = 0x70c4;
+  // Compute the oracle_dropped_mass diagnostic: an extra exact pass over all
+  // tokens per attend. On for tests/examples; the serve engine and the
+  // hot-path bench switch it off (it would keep decode O(len) even when
+  // everything else is O(kept)).
+  bool compute_oracle_mass = true;
 };
 
 // Per-token outcome of the estimation pass.
@@ -51,6 +64,7 @@ struct TokenPickerResult {
   double log_denominator_estimator = 0.0;
   // True full-softmax probability mass of the pruned tokens, computed from
   // the quantized exact reference (oracle diagnostic; costs no "fetches").
+  // Zero when TokenPickerConfig::compute_oracle_mass is off.
   double oracle_dropped_mass = 0.0;
 };
 
@@ -85,14 +99,25 @@ class TokenPickerAttention {
  public:
   explicit TokenPickerAttention(const TokenPickerConfig& config);
 
+  // Float view: quantizes the whole view per call (the historical path,
+  // preserved for calibration/examples and as the equivalence reference).
   TokenPickerResult attend(std::span<const float> q, const KvHeadView& kv);
 
-  // Variant for pre-quantized inputs (used by the accelerator model and by
-  // workloads that generate integer tensors directly). score_scale converts
-  // integer dot products to softmax-logit units.
+  // Variant for pre-quantized AoS inputs (used by the accelerator model and
+  // by workloads that generate integer tensors directly). score_scale
+  // converts integer dot products to softmax-logit units.
   TokenPickerResult attend_quantized(const fx::QuantizedVector& q,
                                      const QuantizedKv& kv,
                                      double score_scale);
+
+  // Hot path: one query over an incrementally maintained cache. `result`'s
+  // buffers are reused across calls; no heap allocation after warm-up.
+  void attend_cached(std::span<const float> q, const QuantizedKvCache& cache,
+                     TokenPickerResult* result);
+
+  // Core over a planar view with a caller-supplied quantized query.
+  void attend_view(const fx::QuantizedVector& q, const QuantizedKvView& kv,
+                   double score_scale, TokenPickerResult* result);
 
   const TokenPickerConfig& config() const { return config_; }
 
@@ -100,6 +125,18 @@ class TokenPickerAttention {
   TokenPickerConfig config_;
   ProbabilityEstimator estimator_;
   Rng order_rng_;
+
+  // Reused scratch — the hot path allocates nothing after the first call.
+  fx::MarginTable margins_;
+  std::vector<std::size_t> order_;
+  std::vector<double> survivor_scores_;
+  std::vector<std::uint8_t> kept_;
+  std::vector<double> surv_compact_;
+  std::vector<double> oracle_scores_;
+  fx::QuantizedVector q_scratch_;
+  QuantizedKvCache view_scratch_;   // attend(): per-call from-scratch rebuild
+  QuantizedKvStore aos_scratch_;    // attend_quantized(): planar adapter
+  TokenPickerResult result_scratch_;
 };
 
 }  // namespace topick

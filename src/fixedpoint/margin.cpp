@@ -18,8 +18,13 @@ SignSplit sign_split(const QuantizedVector& q) {
 }
 
 MarginTable::MarginTable(const QuantizedVector& q, const QuantParams& k_params) {
+  rebuild(q, k_params);
+}
+
+void MarginTable::rebuild(const QuantizedVector& q, const QuantParams& k_params) {
   const SignSplit split = sign_split(q);
   const int levels = k_params.num_chunks() + 1;
+  pairs_.clear();
   pairs_.reserve(static_cast<std::size_t>(levels));
   for (int level = 0; level < levels; ++level) {
     if (level == 0) {

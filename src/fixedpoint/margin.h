@@ -35,7 +35,12 @@ struct MarginPair {
 // margins[chunks_known].
 class MarginTable {
  public:
+  MarginTable() = default;
   MarginTable(const QuantizedVector& q, const QuantParams& k_params);
+
+  // Recomputes the pairs for a new query, reusing the existing allocation
+  // (the per-call path of the attention hot loop).
+  void rebuild(const QuantizedVector& q, const QuantParams& k_params);
 
   const MarginPair& at_level(int chunks_known) const;
   int levels() const { return static_cast<int>(pairs_.size()); }

@@ -16,21 +16,27 @@ float choose_scale(std::span<const float> xs, int total_bits) {
 }
 
 QuantizedVector quantize(std::span<const float> xs, const QuantParams& params) {
+  QuantizedVector out;
+  quantize_into(xs, params, &out);
+  return out;
+}
+
+void quantize_into(std::span<const float> xs, const QuantParams& params,
+                   QuantizedVector* out) {
   require(params.total_bits >= 2 && params.total_bits <= 15,
           "quantize: total_bits must be in [2, 15] for int16 storage");
   require(params.chunk_bits >= 1 && params.chunk_bits <= params.total_bits,
           "quantize: chunk_bits must be in [1, total_bits]");
   require(params.scale > 0.0f, "quantize: scale must be positive");
 
-  QuantizedVector out;
-  out.params = params;
-  out.values.reserve(xs.size());
+  out->params = params;
+  out->values.clear();
+  out->values.reserve(xs.size());
   for (float x : xs) {
     const auto q = static_cast<std::int32_t>(std::lround(x / params.scale));
-    out.values.push_back(
+    out->values.push_back(
         static_cast<std::int16_t>(std::clamp(q, params.qmin(), params.qmax())));
   }
-  return out;
 }
 
 QuantizedVector quantize_auto(std::span<const float> xs, int total_bits,

@@ -34,6 +34,11 @@ float choose_scale(std::span<const float> xs, int total_bits = 12);
 // Quantizes with round-to-nearest and saturation to [qmin, qmax].
 QuantizedVector quantize(std::span<const float> xs, const QuantParams& params);
 
+// Allocation-free variant: quantizes into caller scratch (values cleared,
+// capacity reused). The per-query path of the attention hot loop.
+void quantize_into(std::span<const float> xs, const QuantParams& params,
+                   QuantizedVector* out);
+
 // Convenience: picks the scale from the data, then quantizes.
 QuantizedVector quantize_auto(std::span<const float> xs, int total_bits = 12,
                               int chunk_bits = 4);

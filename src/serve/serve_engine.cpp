@@ -21,14 +21,24 @@ double percentile_or_zero(const std::vector<double>& samples, double p) {
 struct ServeEngine::Slot {
   Slot(PagedKvPool* pool, const ServeConfig& config)
       : cache(pool, config.n_layer, config.n_head) {
-    persistence.reserve(
-        static_cast<std::size_t>(config.n_layer) * config.n_head);
-    for (int i = 0; i < config.n_layer * config.n_head; ++i) {
+    const auto n = static_cast<std::size_t>(config.n_layer) * config.n_head;
+    persistence.reserve(n);
+    qcaches.reserve(n);
+    const fx::QuantParams quant = config.backend == BackendKind::spatten
+                                      ? config.spatten.quant
+                                      : config.picker.quant;
+    for (std::size_t i = 0; i < n; ++i) {
       persistence.emplace_back(config.persistence_window);
+      qcaches.emplace_back(static_cast<std::size_t>(config.head_dim),
+                           QuantizedKvCache::Config{quant, 1.0f});
     }
   }
 
   PagedKvCache cache;
+  // Incrementally quantized mirror of each sequence's live tokens — the
+  // attention read path. Appended alongside PagedSequence appends; evicted
+  // coherently when reclamation marks tokens dead.
+  std::vector<QuantizedKvCache> qcaches;  // per (layer, head), layer-major
   std::vector<PrunePersistence> persistence;  // per (layer, head), layer-major
   std::unique_ptr<SpAttenBackend> spatten;
 };
@@ -125,6 +135,10 @@ ServeEngine::ServeEngine(const ServeConfig& config)
   require(config.n_layer > 0 && config.n_head > 0 && config.head_dim > 0,
           "ServeConfig: bad shape");
   config_.stream.head_dim = config.head_dim;
+  // The oracle pass is an O(context) diagnostic per attention instance; the
+  // engine's hot loop must stay O(kept). Outputs/decisions are unaffected.
+  config_.picker.compute_oracle_mass = false;
+  picker_ = TokenPickerAttention(config_.picker);
 }
 
 ServeEngine::~ServeEngine() = default;
@@ -310,14 +324,21 @@ bool ServeEngine::prefill_chunk(std::size_t request,
   if (!ensure_pages_for_append(request, chunk)) return false;
   Slot& slot = *slots_[request];
 
+  const auto dim = static_cast<std::size_t>(config_.head_dim);
   for (int layer = 0; layer < config_.n_layer; ++layer) {
     for (int head = 0; head < config_.n_head; ++head) {
+      const auto inst = static_cast<std::size_t>(layer) * config_.n_head + head;
       auto& seq = slot.cache.seq(layer, head);
       for (std::size_t t = req.prefilled; t < req.prefilled + chunk; ++t) {
         const bool ok = seq.append(req.stream.key(layer, head, t),
                                    req.stream.value(layer, head, t));
         require(ok, "ServeEngine: prefill append failed despite page check");
       }
+      // Quantize the chunk once, via the bulk path (at most one rescale).
+      const auto& hs = req.stream.head(layer, head);
+      slot.qcaches[inst].append_rows(hs.keys.data() + req.prefilled * dim,
+                                     hs.values.data() + req.prefilled * dim,
+                                     chunk, req.prefilled);
     }
   }
 
@@ -425,62 +446,76 @@ bool ServeEngine::decode_one(std::size_t request,
     for (int head = 0; head < config_.n_head; ++head) {
       const auto inst = static_cast<std::size_t>(layer) * config_.n_head + head;
       auto& seq = slot.cache.seq(layer, head);
+      auto& qcache = slot.qcaches[inst];
       {
         const bool ok = seq.append(req.stream.key(layer, head, pos),
                                    req.stream.value(layer, head, pos));
         require(ok, "ServeEngine: decode append failed despite page check");
       }
+      // Quantize the new token once; earlier tokens stay quantized (the
+      // cache rescales the head only when the live max|x| changes).
+      qcache.append(req.stream.key(layer, head, pos),
+                    req.stream.value(layer, head, pos), pos);
 
-      const auto paged = seq.view(&token_ids_);
-      const KvHeadView view = paged.gather(key_scratch_, value_scratch_);
       const auto q = req.stream.query(layer, head, req.generated);
 
       AccessStats inst_stats;
-      std::vector<float> out;
+      const std::vector<float>* out = nullptr;
       std::vector<std::size_t> kept_ids;
 
       switch (config_.backend) {
         case BackendKind::token_picker: {
-          auto result = picker_.attend(q, view);
-          inst_stats = result.stats;
-          out = std::move(result.output);
+          picker_.attend_cached(q, qcache, &picker_result_);
+          inst_stats = picker_result_.stats;
+          out = &picker_result_.output;
           auto& persistence = slot.persistence[inst];
-          for (const auto& decision : result.decisions) {
-            const std::size_t global = token_ids_[decision.token];
+          for (const auto& decision : picker_result_.decisions) {
+            const std::size_t global = qcache.id_at(decision.token);
             persistence.observe(global, decision.kept);
-            if (decision.kept) kept_ids.push_back(global);
+            if (config_.capture_outputs && decision.kept) {
+              kept_ids.push_back(global);
+            }
           }
           if (config_.reclaim) {
-            for (const std::size_t global : token_ids_) {
+            dead_scratch_.clear();
+            for (const std::size_t global : qcache.ids()) {
               if (persistence.persistent(global)) {
                 seq.mark_dead(global);
                 persistence.forget(global);
+                dead_scratch_.push_back(global);
               }
             }
+            // Page frees and the quantized mirror stay coherent: reclaimed
+            // tokens leave the cache now, so the next step's attention view
+            // (and its shared scale) covers exactly the live set.
+            if (!dead_scratch_.empty()) qcache.evict_ids(dead_scratch_);
             metrics_.pages_reclaimed += seq.sweep();
           }
           break;
         }
         case BackendKind::exact_quantized: {
-          auto result =
-              exact_attention_quantized(q, view, config_.picker.quant);
-          out.assign(result.output.begin(), result.output.end());
-          const auto full_bits = static_cast<std::uint64_t>(view.len) * dim *
-                                 config_.picker.quant.total_bits;
+          exact_attention_view(q, qcache.view(), &exact_q_scratch_,
+                               &exact_result_);
+          out = &exact_result_.output;
+          const auto full_bits = static_cast<std::uint64_t>(qcache.len()) *
+                                 dim * config_.picker.quant.total_bits;
           inst_stats.k_bits_fetched = inst_stats.k_bits_baseline = full_bits;
           inst_stats.v_bits_fetched = inst_stats.v_bits_baseline = full_bits;
-          inst_stats.tokens_total = inst_stats.tokens_kept = view.len;
-          kept_ids = token_ids_;
+          inst_stats.tokens_total = inst_stats.tokens_kept = qcache.len();
+          if (config_.capture_outputs) kept_ids = qcache.ids();
           break;
         }
         case BackendKind::spatten: {
-          out.assign(dim, 0.0f);
+          out_scratch_.assign(dim, 0.0f);
+          out = &out_scratch_;
           AttentionContext ctx;
           ctx.layer = layer;
           ctx.head = head;
           ctx.position = static_cast<int>(pos);
           const AccessStats before = slot.spatten->stats();
-          slot.spatten->attend(q, view, out, ctx);
+          // SpAtten never reclaims pool storage, so cache position == global
+          // token id — the pruner's importance indexing stays valid.
+          slot.spatten->attend_view(q, qcache.view(), out_scratch_, ctx);
           AccessStats after = slot.spatten->stats();
           inst_stats.k_bits_fetched =
               after.k_bits_fetched - before.k_bits_fetched;
@@ -501,15 +536,11 @@ bool ServeEngine::decode_one(std::size_t request,
       metrics_.stats.merge(inst_stats);
 
       if (config_.capture_outputs) {
-        record.out[inst] = std::move(out);
+        record.out[inst] = *out;
         // Post-reclaim liveness (see StepOutput in request.h): the reclaim
-        // above may have retired tokens of the view this step attended, so
-        // re-filter rather than copying the stale pre-reclaim id list.
-        auto& live_ids = record.view_tokens[inst];
-        live_ids.reserve(token_ids_.size());
-        for (const std::size_t id : token_ids_) {
-          if (seq.live(id)) live_ids.push_back(id);
-        }
+        // above already evicted retired tokens from the quantized mirror, so
+        // its id list *is* the context the next decode step extends.
+        record.view_tokens[inst] = qcache.ids();
         record.kept_tokens[inst] = std::move(kept_ids);
       }
     }

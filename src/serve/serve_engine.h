@@ -12,6 +12,14 @@
 // attention instance per (layer, head) through the configured backend —
 // exact quantized, Token-Picker, or SpAtten; (4) feed Token-Picker's
 // per-token verdicts into PrunePersistence and reclaim fully-dead pages;
+//
+// Attention reads go through a per-(slot, layer, head) QuantizedKvCache that
+// quantizes each token once at append (prefill chunks use the bulk path) and
+// evicts coherently with page reclamation, so a decode step costs O(kept)
+// instead of re-quantizing the whole head; results are bit-identical to the
+// historical gather + quantize-from-scratch path. The oracle diagnostic pass
+// is disabled in the engine (compute_oracle_mass) — tests shadow-check
+// outputs against exact references instead.
 // (5) replay the step's combined prefill+decode DRAM traffic through the
 // memsim HBM model for a per-request latency proxy in DRAM cycles — prefill
 // is never free, so TTFT and decode tails see prompt bursts; (6) retire
@@ -29,6 +37,7 @@
 
 #include <array>
 
+#include "core/quantized_kv_cache.h"
 #include "core/spatten.h"
 #include "core/token_picker.h"
 #include "memsim/hbm.h"
@@ -277,9 +286,12 @@ class ServeEngine {
   double fragmentation_sum_ = 0.0;
   std::size_t fragmentation_samples_ = 0;
 
-  // Gather scratch reused across instances.
-  std::vector<float> key_scratch_, value_scratch_;
-  std::vector<std::size_t> token_ids_;
+  // Attention scratch reused across instances (allocation-free decode).
+  TokenPickerResult picker_result_;
+  ExactAttentionResult exact_result_;
+  fx::QuantizedVector exact_q_scratch_;
+  std::vector<float> out_scratch_;
+  std::vector<std::size_t> dead_scratch_;
   // Policy candidate scratch, rebuilt per pick.
   std::vector<AdmissionCandidate> admission_scratch_;
   std::vector<VictimCandidate> victim_scratch_;

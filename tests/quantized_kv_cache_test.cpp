@@ -1,0 +1,543 @@
+// Equivalence suite for the incrementally-quantized, chunk-planar KV cache:
+// the hot path must be *bit-identical* to quantize-from-scratch across
+// append / rescale / evict-compact interleavings (ISSUE 4 acceptance).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/expsum.h"
+#include "common/rng.h"
+#include "core/attention_backends.h"
+#include "core/exact_attention.h"
+#include "core/quantized_kv_cache.h"
+#include "core/token_picker.h"
+#include "fixedpoint/chunks.h"
+#include "model/kv_cache.h"
+
+namespace topick {
+namespace {
+
+// Float KV rows kept by the test as the from-scratch reference source.
+struct ShadowKv {
+  std::size_t head_dim;
+  std::vector<std::vector<float>> keys, values;
+  std::vector<std::size_t> ids;
+
+  explicit ShadowKv(std::size_t dim) : head_dim(dim) {}
+
+  void append(std::vector<float> k, std::vector<float> v, std::size_t id) {
+    keys.push_back(std::move(k));
+    values.push_back(std::move(v));
+    ids.push_back(id);
+  }
+
+  void evict(const std::vector<std::size_t>& dead) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      if (std::find(dead.begin(), dead.end(), ids[r]) != dead.end()) continue;
+      keys[w] = keys[r];
+      values[w] = values[r];
+      ids[w] = ids[r];
+      ++w;
+    }
+    keys.resize(w);
+    values.resize(w);
+    ids.resize(w);
+  }
+
+  // Contiguous gather (what the pre-cache serve engine attended over).
+  void gather(std::vector<float>* k_flat, std::vector<float>* v_flat) const {
+    k_flat->clear();
+    v_flat->clear();
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      k_flat->insert(k_flat->end(), keys[r].begin(), keys[r].end());
+      v_flat->insert(v_flat->end(), values[r].begin(), values[r].end());
+    }
+  }
+};
+
+std::vector<float> random_row(Rng& rng, std::size_t dim, double scale) {
+  std::vector<float> row(dim);
+  for (auto& x : row) x = static_cast<float>(rng.normal() * scale);
+  return row;
+}
+
+void expect_same_result(const TokenPickerResult& a, const TokenPickerResult& b) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].token, b.decisions[i].token);
+    EXPECT_EQ(a.decisions[i].chunks_fetched, b.decisions[i].chunks_fetched);
+    EXPECT_EQ(a.decisions[i].kept, b.decisions[i].kept);
+    EXPECT_EQ(a.decisions[i].final_score, b.decisions[i].final_score);
+    EXPECT_EQ(a.decisions[i].upper_bound_at_prune,
+              b.decisions[i].upper_bound_at_prune);
+  }
+  EXPECT_EQ(a.stats.k_bits_fetched, b.stats.k_bits_fetched);
+  EXPECT_EQ(a.stats.v_bits_fetched, b.stats.v_bits_fetched);
+  EXPECT_EQ(a.stats.k_bits_baseline, b.stats.k_bits_baseline);
+  EXPECT_EQ(a.stats.v_bits_baseline, b.stats.v_bits_baseline);
+  EXPECT_EQ(a.stats.tokens_total, b.stats.tokens_total);
+  EXPECT_EQ(a.stats.tokens_kept, b.stats.tokens_kept);
+  EXPECT_EQ(a.stats.chunk_histogram, b.stats.chunk_histogram);
+  ASSERT_EQ(a.output.size(), b.output.size());
+  for (std::size_t d = 0; d < a.output.size(); ++d) {
+    EXPECT_EQ(a.output[d], b.output[d]);
+  }
+  EXPECT_EQ(a.log_denominator, b.log_denominator);
+  EXPECT_EQ(a.log_denominator_estimator, b.log_denominator_estimator);
+}
+
+TEST(QuantizedKvStore, PlaneRowsSumToFullKey) {
+  Rng rng(0xabc1);
+  const std::size_t dim = 16;
+  fx::QuantParams params;
+  params.scale = 0.01f;
+
+  QuantizedKvStore store;
+  store.reset(params, params, dim);
+  std::vector<std::int16_t> k_row(dim), v_row(dim);
+  for (int t = 0; t < 5; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      k_row[d] = static_cast<std::int16_t>(
+          static_cast<std::int32_t>(rng.uniform_index(4096)) - 2048);
+      v_row[d] = k_row[d];
+    }
+    store.push_row(k_row.data(), v_row.data());
+  }
+
+  const QuantizedKvView view = store.view();
+  for (std::size_t t = 0; t < view.len; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      std::int32_t sum = 0;
+      for (int b = 0; b < params.num_chunks(); ++b) {
+        sum += view.key_plane_row(b, t)[d];
+      }
+      EXPECT_EQ(sum, view.key(t)[d]) << "token " << t << " dim " << d;
+    }
+  }
+}
+
+// Core invariant: the cache's quantized bits equal quantize_kv() run fresh on
+// the live float set, after every single mutation.
+void expect_matches_from_scratch(const QuantizedKvCache& cache,
+                                 const ShadowKv& shadow) {
+  ASSERT_EQ(cache.len(), shadow.ids.size());
+  if (cache.len() == 0) return;
+  std::vector<float> k_flat, v_flat;
+  shadow.gather(&k_flat, &v_flat);
+  const KvHeadView view{k_flat.data(), v_flat.data(), shadow.ids.size(),
+                        shadow.head_dim};
+  const QuantizedKv fresh = quantize_kv(view, cache.config().base);
+
+  const QuantizedKvView cached = cache.view();
+  EXPECT_EQ(cached.key_params.scale, fresh.keys[0].params.scale);
+  EXPECT_EQ(cached.value_params.scale, fresh.values[0].params.scale);
+  for (std::size_t t = 0; t < cache.len(); ++t) {
+    EXPECT_EQ(cache.id_at(t), shadow.ids[t]);
+    for (std::size_t d = 0; d < shadow.head_dim; ++d) {
+      EXPECT_EQ(cached.key(t)[d], fresh.keys[t].values[d]);
+      EXPECT_EQ(cached.value(t)[d], fresh.values[t].values[d]);
+    }
+  }
+}
+
+TEST(QuantizedKvCache, AppendOnlyMatchesFromScratch) {
+  Rng rng(0x5eed);
+  const std::size_t dim = 24;
+  QuantizedKvCache cache(dim);
+  ShadowKv shadow(dim);
+  for (std::size_t t = 0; t < 64; ++t) {
+    auto k = random_row(rng, dim, 1.0);
+    auto v = random_row(rng, dim, 1.0);
+    cache.append(k, v, t);
+    shadow.append(k, v, t);
+    expect_matches_from_scratch(cache, shadow);
+  }
+  // Random data sets a new max only O(log n) times.
+  EXPECT_LT(cache.key_rescales(), 20u);
+  EXPECT_GT(cache.key_rescales(), 0u);
+}
+
+TEST(QuantizedKvCache, EngineeredMidDecodeRescale) {
+  Rng rng(0x1234);
+  const std::size_t dim = 16;
+  QuantizedKvCache cache(dim);
+  ShadowKv shadow(dim);
+  // Quiet prefix, then a spike 10x past the running max: the spike append
+  // must trigger exactly one whole-head requantize and stay exact.
+  for (std::size_t t = 0; t < 20; ++t) {
+    auto k = random_row(rng, dim, 0.5);
+    auto v = random_row(rng, dim, 0.5);
+    cache.append(k, v, t);
+    shadow.append(k, v, t);
+  }
+  const auto before = cache.key_rescales();
+  auto k = random_row(rng, dim, 0.5);
+  k[3] = 40.0f;  // new record by an order of magnitude
+  auto v = random_row(rng, dim, 0.5);
+  cache.append(k, v, 20);
+  shadow.append(k, v, 20);
+  EXPECT_EQ(cache.key_rescales(), before + 1);
+  expect_matches_from_scratch(cache, shadow);
+
+  // Follow-up quiet appends must not rescale again.
+  const auto after_spike = cache.key_rescales();
+  for (std::size_t t = 21; t < 40; ++t) {
+    auto k2 = random_row(rng, dim, 0.5);
+    auto v2 = random_row(rng, dim, 0.5);
+    cache.append(k2, v2, t);
+    shadow.append(k2, v2, t);
+  }
+  EXPECT_EQ(cache.key_rescales(), after_spike);
+  expect_matches_from_scratch(cache, shadow);
+}
+
+TEST(QuantizedKvCache, EvictingTheRecordHolderShrinksTheScale) {
+  Rng rng(0x77);
+  const std::size_t dim = 16;
+  QuantizedKvCache cache(dim);
+  ShadowKv shadow(dim);
+  for (std::size_t t = 0; t < 12; ++t) {
+    auto k = random_row(rng, dim, 0.5);
+    if (t == 5) k[0] = 25.0f;  // the record holder
+    auto v = random_row(rng, dim, 0.5);
+    cache.append(k, v, t);
+    shadow.append(k, v, t);
+  }
+  const float scale_with_spike = cache.key_params().scale;
+  const std::vector<std::size_t> dead{5};
+  EXPECT_EQ(cache.evict_ids(dead), 1u);
+  shadow.evict(dead);
+  EXPECT_LT(cache.key_params().scale, scale_with_spike);
+  expect_matches_from_scratch(cache, shadow);
+}
+
+TEST(QuantizedKvCache, BulkAppendRowsMatchesFromScratch) {
+  Rng rng(0xb01d);
+  const std::size_t dim = 8;
+  QuantizedKvCache cache(dim);
+  ShadowKv shadow(dim);
+  std::vector<float> k_rows, v_rows;
+  const std::size_t count = 33;
+  for (std::size_t t = 0; t < count; ++t) {
+    auto k = random_row(rng, dim, 2.0);
+    auto v = random_row(rng, dim, 2.0);
+    k_rows.insert(k_rows.end(), k.begin(), k.end());
+    v_rows.insert(v_rows.end(), v.begin(), v.end());
+    shadow.append(k, v, t);
+  }
+  cache.append_rows(k_rows.data(), v_rows.data(), count, 0);
+  // The bulk path computes the batch scale once.
+  EXPECT_LE(cache.key_rescales(), 1u);
+  expect_matches_from_scratch(cache, shadow);
+}
+
+// The acceptance-criterion suite: randomized append / evict interleavings;
+// after every mutation, attention through the incremental cache must equal
+// attention through the historical quantize-from-scratch path bit-for-bit —
+// decisions, AccessStats, output, and both log denominators.
+TEST(QuantizedKvCache, RandomizedInterleavingsAttendBitIdentical) {
+  Rng rng(0xf00d);
+  const std::size_t dim = 32;
+  TokenPickerConfig config;
+  config.estimator.threshold = 1e-3;
+
+  QuantizedKvCache cache(dim, {config.quant, 1.0f});
+  ShadowKv shadow(dim);
+  TokenPickerAttention cached_op(config);
+  TokenPickerAttention scratch_op(config);
+  TokenPickerResult cached_result;
+
+  std::vector<float> k_flat, v_flat;
+  std::size_t next_id = 0;
+  for (int op = 0; op < 300; ++op) {
+    const auto roll = rng.uniform_index(10);
+    if (roll < 6 || shadow.ids.size() < 2) {
+      // Append, occasionally spiking to force a mid-decode rescale.
+      const double scale = rng.uniform_index(12) == 0 ? 30.0 : 1.0;
+      auto k = random_row(rng, dim, scale);
+      auto v = random_row(rng, dim, scale);
+      cache.append(k, v, next_id);
+      shadow.append(k, v, next_id);
+      ++next_id;
+    } else {
+      // Evict a random subset (sometimes including the record holder),
+      // mirroring reclamation compaction.
+      std::vector<std::size_t> dead;
+      const std::size_t count = 1 + rng.uniform_index(3);
+      for (std::size_t i = 0; i < count && shadow.ids.size() - dead.size() > 1;
+           ++i) {
+        dead.push_back(shadow.ids[rng.uniform_index(shadow.ids.size())]);
+      }
+      cache.evict_ids(dead);
+      shadow.evict(dead);
+    }
+
+    expect_matches_from_scratch(cache, shadow);
+
+    const auto q = random_row(rng, dim, 1.0);
+    cached_op.attend_cached(q, cache, &cached_result);
+    shadow.gather(&k_flat, &v_flat);
+    const KvHeadView view{k_flat.data(), v_flat.data(), shadow.ids.size(), dim};
+    const TokenPickerResult fresh = scratch_op.attend(q, view);
+    expect_same_result(cached_result, fresh);
+    EXPECT_EQ(cached_result.oracle_dropped_mass, fresh.oracle_dropped_mass);
+  }
+  EXPECT_GT(cache.key_rescales() + cache.value_rescales(), 0u);
+}
+
+// Amortized mode (headroom > 1) gives up bit-exactness for fewer rescales,
+// but the grid must always stay valid: scale in [max|x|/qmax, headroom *
+// max|x|/qmax], so reconstruction error is bounded by scale/2 and nothing
+// clips. Regression: the initial base scale (1.0) once leaked into
+// small-magnitude data, quantizing everything to zero.
+TEST(QuantizedKvCache, HeadroomAmortizesRescalesWithBoundedError) {
+  Rng rng(0x4ead);
+  const std::size_t dim = 16;
+  QuantizedKvCache exact(dim, {fx::QuantParams{}, 1.0f});
+  QuantizedKvCache amortized(dim, {fx::QuantParams{}, 2.0f});
+
+  for (std::size_t t = 0; t < 200; ++t) {
+    // Small-magnitude rows (far below the base scale of 1.0) with occasional
+    // growth spurts that force the running max upward.
+    const double mag = 0.01 * (1.0 + 0.05 * static_cast<double>(t));
+    const auto k = random_row(rng, dim, mag);
+    const auto v = random_row(rng, dim, mag);
+    exact.append(k, v, t);
+    amortized.append(k, v, t);
+
+    const QuantizedKvView view = amortized.view();
+    const float k_scale = view.key_params.scale;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float reconstructed =
+          static_cast<float>(view.key(t)[d]) * k_scale;
+      EXPECT_NEAR(reconstructed, k[d], 0.5f * k_scale + 1e-7f)
+          << "token " << t << " dim " << d << " scale " << k_scale;
+    }
+  }
+  // The whole point of the slack: strictly fewer whole-head requantizes.
+  EXPECT_LT(amortized.key_rescales(), exact.key_rescales());
+  EXPECT_GT(amortized.key_rescales(), 0u);
+}
+
+TEST(QuantizedKvCache, OracleGateOffZeroesDiagnosticOnly) {
+  Rng rng(0x0a0a);
+  const std::size_t dim = 16;
+  // Threshold above the uniform 1/len probability so the instance actually
+  // prunes (a pruned token is what gives the oracle nonzero dropped mass).
+  TokenPickerConfig with_oracle;
+  with_oracle.estimator.threshold = 5e-2;
+  TokenPickerConfig no_oracle = with_oracle;
+  no_oracle.compute_oracle_mass = false;
+
+  QuantizedKvCache cache(dim, {with_oracle.quant, 1.0f});
+  for (std::size_t t = 0; t < 40; ++t) {
+    cache.append(random_row(rng, dim, 1.0), random_row(rng, dim, 1.0), t);
+  }
+  const auto q = random_row(rng, dim, 1.0);
+
+  TokenPickerAttention on(with_oracle), off(no_oracle);
+  TokenPickerResult r_on, r_off;
+  on.attend_cached(q, cache, &r_on);
+  off.attend_cached(q, cache, &r_off);
+  EXPECT_GT(r_on.oracle_dropped_mass, 0.0);
+  EXPECT_EQ(r_off.oracle_dropped_mass, 0.0);
+  r_off.oracle_dropped_mass = r_on.oracle_dropped_mass;
+  expect_same_result(r_on, r_off);
+}
+
+// Regression for the chunk_histogram overflow: >8 chunks per vector (e.g.
+// chunk_bits = 1 -> 12 chunks) used to index past the array<8>. The clamp
+// folds the tail into the last bucket; the total still counts every token.
+TEST(QuantizedKvCache, ChunkHistogramClampsDeepChunkConfigs) {
+  Rng rng(0xc1a);
+  const std::size_t dim = 16;
+  TokenPickerConfig config;
+  config.quant.chunk_bits = 1;  // 12 one-bit chunks > 8 buckets
+  config.estimator.threshold = 1e-3;
+
+  QuantizedKvCache cache(dim, {config.quant, 1.0f});
+  for (std::size_t t = 0; t < 24; ++t) {
+    cache.append(random_row(rng, dim, 1.0), random_row(rng, dim, 1.0), t);
+  }
+  TokenPickerAttention op(config);
+  TokenPickerResult result;
+  op.attend_cached(random_row(rng, dim, 1.0), cache, &result);
+
+  std::uint64_t total = 0;
+  for (const auto c : result.stats.chunk_histogram) total += c;
+  EXPECT_EQ(total, 24u);
+  // Survivors fetch all 12 chunks; they must land in (clamped) bucket 7.
+  EXPECT_GE(result.stats.chunk_histogram[7], result.stats.tokens_kept);
+}
+
+TEST(QuantizedKvCache, SyncToViewGrowsAndGuardsRestarts) {
+  Rng rng(0x9e);
+  const std::size_t dim = 8;
+  std::vector<float> keys, values;
+  auto grow = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto k = random_row(rng, dim, 1.0);
+      const auto v = random_row(rng, dim, 1.0);
+      keys.insert(keys.end(), k.begin(), k.end());
+      values.insert(values.end(), v.begin(), v.end());
+    }
+  };
+
+  QuantizedKvCache cache(dim);
+  grow(5);
+  sync_cache_to_view(cache,
+                     {keys.data(), values.data(), 5, dim});
+  EXPECT_EQ(cache.len(), 5u);
+  grow(3);
+  sync_cache_to_view(cache, {keys.data(), values.data(), 8, dim});
+  EXPECT_EQ(cache.len(), 8u);
+
+  // Restart: a different sequence of the same length must be detected via
+  // the tail-row guard and rebuilt, not silently reused.
+  std::vector<float> keys2 = keys, values2 = values;
+  for (auto& x : keys2) x += 1.0f;
+  sync_cache_to_view(cache, {keys2.data(), values2.data(), 8, dim});
+  ShadowKv shadow(dim);
+  for (std::size_t t = 0; t < 8; ++t) {
+    shadow.append({keys2.begin() + static_cast<std::ptrdiff_t>(t * dim),
+                   keys2.begin() + static_cast<std::ptrdiff_t>((t + 1) * dim)},
+                  {values2.begin() + static_cast<std::ptrdiff_t>(t * dim),
+                   values2.begin() + static_cast<std::ptrdiff_t>((t + 1) * dim)},
+                  t);
+  }
+  expect_matches_from_scratch(cache, shadow);
+}
+
+// Backend adoption: the cache-backed ExactQuantizedBackend must reproduce
+// exact_attention_quantized() on every step of a growing decode.
+TEST(BackendAdoption, ExactQuantizedBackendBitIdentical) {
+  Rng rng(0xe1);
+  const std::size_t dim = 16;
+  std::vector<float> keys, values;
+  ExactQuantizedBackend backend;
+  backend.begin_sequence();
+  std::vector<float> out(dim);
+  for (std::size_t t = 0; t < 48; ++t) {
+    const auto k = random_row(rng, dim, 1.0);
+    const auto v = random_row(rng, dim, 1.0);
+    keys.insert(keys.end(), k.begin(), k.end());
+    values.insert(values.end(), v.begin(), v.end());
+    const KvHeadView view{keys.data(), values.data(), t + 1, dim};
+    const auto q = random_row(rng, dim, 1.0);
+
+    AttentionContext ctx;
+    ctx.position = static_cast<int>(t);
+    backend.attend(q, view, out, ctx);
+    const auto reference = exact_attention_quantized(q, view);
+    for (std::size_t d = 0; d < dim; ++d) {
+      EXPECT_EQ(out[d], reference.output[d]) << "step " << t << " dim " << d;
+    }
+  }
+}
+
+// And the cache-backed TokenPickerBackend must reproduce the from-scratch
+// attend() on every step.
+TEST(BackendAdoption, TokenPickerBackendBitIdentical) {
+  Rng rng(0xe2);
+  const std::size_t dim = 16;
+  TokenPickerConfig config;
+  config.estimator.threshold = 1e-3;
+  std::vector<float> keys, values;
+  TokenPickerBackend backend(config);
+  TokenPickerAttention reference_op(config);
+  backend.begin_sequence();
+  std::vector<float> out(dim);
+  for (std::size_t t = 0; t < 48; ++t) {
+    const auto k = random_row(rng, dim, 1.0);
+    const auto v = random_row(rng, dim, 1.0);
+    keys.insert(keys.end(), k.begin(), k.end());
+    values.insert(values.end(), v.begin(), v.end());
+    const KvHeadView view{keys.data(), values.data(), t + 1, dim};
+    const auto q = random_row(rng, dim, 1.0);
+
+    AttentionContext ctx;
+    ctx.position = static_cast<int>(t);
+    backend.attend(q, view, out, ctx);
+    const auto reference = reference_op.attend(q, view);
+    for (std::size_t d = 0; d < dim; ++d) {
+      EXPECT_EQ(out[d], reference.output[d]) << "step " << t << " dim " << d;
+    }
+  }
+}
+
+// SpAtten adoption: shadow-replicate the pre-cache implementation (fresh
+// quantize_kv + full-K dots over the active set) against the cache-backed
+// backend, pruner state and all.
+TEST(BackendAdoption, SpAttenBackendBitIdentical) {
+  Rng rng(0xe3);
+  const std::size_t dim = 16;
+  const int n_layer = 2;
+  SpAttenConfig config;
+  config.final_keep_ratio = 0.5;
+  config.value_prob_threshold = 0.01;
+
+  const std::size_t max_tokens = 40;
+  SpAttenBackend backend(config, n_layer, 1, max_tokens);
+  SpAttenPruner shadow_pruner(config, n_layer);
+  shadow_pruner.begin_sequence(max_tokens);
+  backend.begin_sequence();
+
+  std::vector<float> keys, values, out(dim);
+  for (std::size_t t = 0; t < max_tokens; ++t) {
+    const auto k = random_row(rng, dim, 1.0);
+    const auto v = random_row(rng, dim, 1.0);
+    keys.insert(keys.end(), k.begin(), k.end());
+    values.insert(values.end(), v.begin(), v.end());
+    const KvHeadView view{keys.data(), values.data(), t + 1, dim};
+
+    for (int layer = 0; layer < n_layer; ++layer) {
+      const auto q = random_row(rng, dim, 1.0);
+      AttentionContext ctx;
+      ctx.layer = layer;
+      ctx.position = static_cast<int>(t);
+      backend.attend(q, view, out, ctx);
+
+      // The historical path, verbatim: re-quantize the whole head, dot the
+      // active tokens' full keys, softmax, value-prune.
+      const auto active = shadow_pruner.active_tokens(layer, view.len);
+      const QuantizedKv qkv = quantize_kv(view, config.quant);
+      fx::QuantParams qp = config.quant;
+      qp.scale = fx::choose_scale(q, config.quant.total_bits);
+      const fx::QuantizedVector qq = fx::quantize(q, qp);
+      const double score_scale =
+          static_cast<double>(qp.scale) * qkv.keys[0].params.scale /
+          std::sqrt(static_cast<double>(dim));
+      std::vector<double> scores(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        scores[i] = static_cast<double>(fx::dot_i64(qq, qkv.keys[active[i]])) *
+                    score_scale;
+      }
+      const double log_denom = log_sum_exp(scores.data(), scores.size());
+      std::vector<double> probs(active.size());
+      std::vector<float> expected(dim, 0.0f);
+      const float v_scale = qkv.values[0].params.scale;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        probs[i] = std::exp(scores[i] - log_denom);
+        if (probs[i] <= config.value_prob_threshold) continue;
+        for (std::size_t d = 0; d < dim; ++d) {
+          expected[d] += static_cast<float>(
+              probs[i] *
+              static_cast<double>(qkv.values[active[i]].values[d]) * v_scale);
+        }
+      }
+      shadow_pruner.accumulate_importance(active, probs);
+
+      for (std::size_t d = 0; d < dim; ++d) {
+        EXPECT_EQ(out[d], expected[d])
+            << "token " << t << " layer " << layer << " dim " << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topick
