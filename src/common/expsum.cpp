@@ -1,57 +1,9 @@
 #include "common/expsum.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
 namespace topick {
 
-void ShiftedExpSum::rescale(double new_shift) {
-  if (new_shift == shift_) return;
-  acc_ *= std::exp(shift_ - new_shift);
-  shift_ = new_shift;
-}
-
-void ShiftedExpSum::add(double x) {
-  if (terms_ == 0) {
-    shift_ = x;
-    acc_ = 1.0;
-    terms_ = 1;
-    return;
-  }
-  if (x > shift_) rescale(x);
-  acc_ += std::exp(x - shift_);
-  ++terms_;
-}
-
-void ShiftedExpSum::remove(double x) {
-  if (terms_ == 0) return;
-  acc_ -= std::exp(x - shift_);
-  acc_ = std::max(acc_, 0.0);
-  --terms_;
-  if (terms_ == 0) {
-    acc_ = 0.0;
-    shift_ = 0.0;
-  }
-}
-
-void ShiftedExpSum::replace(double old_x, double new_x) {
-  if (new_x > shift_) rescale(new_x);
-  acc_ += std::exp(new_x - shift_) - std::exp(old_x - shift_);
-  acc_ = std::max(acc_, 0.0);
-}
-
-double ShiftedExpSum::log() const {
-  if (terms_ == 0 || acc_ <= 0.0) {
-    return -std::numeric_limits<double>::infinity();
-  }
-  return shift_ + std::log(acc_);
-}
-
-double ShiftedExpSum::value() const {
-  if (terms_ == 0) return 0.0;
-  return std::exp(shift_) * acc_;
-}
+// ShiftedExpSum's methods are header-inline (decode hot path); only the
+// one-shot range helper lives out of line.
 
 double log_sum_exp(const double* xs, std::size_t n) {
   if (n == 0) return -std::numeric_limits<double>::infinity();

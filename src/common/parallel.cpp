@@ -1,0 +1,119 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/require.h"
+
+namespace topick {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> workers;
+
+  // Current job, published under `mutex` and announced by bumping
+  // `generation`. Workers race on `next` for task indices.
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t active = 0;  // spawned workers still inside the current job
+  std::uint64_t generation = 0;
+  bool stop = false;
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void run_tasks(std::size_t worker) {
+    while (true) {
+      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= n) break;
+      try {
+        (*fn)(task, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop(std::size_t worker) {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      run_tasks(worker);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--active == 0) work_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  if (threads_ <= 1) return;
+  impl_ = std::make_unique<Impl>();
+  impl_->workers.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    impl_->workers.emplace_back([this, w] { impl_->worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (!impl_ || n == 1) {
+    // Sequential fast path — identical results by the determinism contract.
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  require(impl_->fn == nullptr,
+          "ThreadPool: reentrant parallel_for is not supported");
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->active = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  impl_->run_tasks(0);  // the calling thread is worker 0
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->work_done.wait(lock, [&] { return impl_->active == 0; });
+    impl_->fn = nullptr;
+  }
+  if (impl_->error) {
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(impl_->error_mutex);
+      std::swap(error, impl_->error);
+    }
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace topick

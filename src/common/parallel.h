@@ -1,0 +1,49 @@
+// Deterministic fork-join thread pool (std::thread + a shared index counter,
+// no dependencies) — the concurrency primitive behind ServeEngine's
+// decode/prefill fan-out and bench_hotpath's threads sweep.
+//
+// Determinism contract: parallel_for(n, fn) runs fn(i, worker) exactly once
+// for every i in [0, n) and returns only after all calls finish. Task i's
+// *inputs and outputs* must not depend on which worker ran it or in what
+// order tasks interleave — workers may only use `worker`-indexed scratch
+// whose contents do not leak between tasks. Under that contract the results
+// are bit-identical for any thread count, including 1 (which runs inline on
+// the calling thread with no pool machinery at all).
+//
+// The calling thread participates as worker 0; the pool spawns threads-1
+// workers with ids 1..threads-1. Exceptions thrown by tasks are captured
+// (first one wins) and rethrown from parallel_for after the join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace topick {
+
+class ThreadPool {
+ public:
+  // `threads` counts the calling thread: 1 (or 0) means no workers are
+  // spawned and parallel_for degenerates to a sequential loop.
+  explicit ThreadPool(std::size_t threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const { return threads_; }
+
+  // Blocks until fn(i, worker) has completed for every i in [0, n).
+  // worker is in [0, threads()); reentrant calls from inside a task are not
+  // supported.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t task,
+                                             std::size_t worker)>& fn);
+
+ private:
+  struct Impl;
+  std::size_t threads_;
+  std::unique_ptr<Impl> impl_;  // null when threads_ <= 1
+};
+
+}  // namespace topick

@@ -18,41 +18,26 @@ ProbabilityEstimator::ProbabilityEstimator(const EstimatorConfig& config)
 
 void ProbabilityEstimator::reset(std::size_t num_tokens) {
   denom_ = ShiftedExpSum();
-  // assign() reuses contribution_'s existing allocation — reset is called
-  // once per attention instance on the decode hot path.
+  // assign() reuses the existing allocations — reset is called once per
+  // attention instance on the decode hot path.
   contribution_.assign(num_tokens,
                        std::numeric_limits<double>::quiet_NaN());
+  term_cache_.assign(num_tokens, ShiftedExpSum::Term{});
 }
 
-bool ProbabilityEstimator::should_prune(double s_max) const {
-  if (denom_.empty()) return false;  // nothing to compare against yet
-  if (config_.threshold <= 0.0) return false;
-  if (config_.fixed_point_compare) {
-    // RPDU model: Q16.16 compare with conservative rounding. Rounding s_max
-    // up and ln(D)/ln(thr) down can only turn a prune into a keep, never
-    // the reverse — safety is preserved (FxRpdu tests).
-    const fx::q16_16 s_up = fx::to_q16(s_max) + 1;
-    const fx::q16_16 lnd_down = fx::to_q16(denom_.log()) - 1;
-    const fx::q16_16 thr_down = fx::to_q16(log_threshold_) - 1;
-    return static_cast<std::int64_t>(s_up) - lnd_down <= thr_down;
-  }
-  return s_max - denom_.log() <= log_threshold_;
+bool ProbabilityEstimator::should_prune_fixed_point(double s_max) const {
+  // RPDU model: Q16.16 compare with conservative rounding. Rounding s_max
+  // up and ln(D)/ln(thr) down can only turn a prune into a keep, never
+  // the reverse — safety is preserved (FxRpdu tests).
+  const fx::q16_16 s_up = fx::to_q16(s_max) + 1;
+  const fx::q16_16 lnd_down = fx::to_q16(denom_.log()) - 1;
+  const fx::q16_16 thr_down = fx::to_q16(log_threshold_) - 1;
+  return static_cast<std::int64_t>(s_up) - lnd_down <= thr_down;
 }
 
 double ProbabilityEstimator::estimate_upper(double s_max) const {
   if (denom_.empty()) return std::numeric_limits<double>::infinity();
   return std::exp(s_max - denom_.log());
-}
-
-void ProbabilityEstimator::update_token(std::size_t token, double s_min) {
-  require(token < contribution_.size(), "estimator: token out of range");
-  double& slot = contribution_[token];
-  if (std::isnan(slot)) {
-    denom_.add(s_min);
-  } else {
-    denom_.replace(slot, s_min);
-  }
-  slot = s_min;
 }
 
 void ProbabilityEstimator::mark_pruned(std::size_t token) {

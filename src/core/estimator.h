@@ -7,11 +7,13 @@
 // (s_max - ln D <= ln thr), exactly as the RPDU evaluates it.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "common/expsum.h"
+#include "common/require.h"
 
 namespace topick {
 
@@ -43,15 +45,39 @@ class ProbabilityEstimator {
 
   // RPDU decision: should the token with upper score bound s_max be pruned,
   // given the current denominator? Never prunes when the denominator is empty
-  // or the threshold is zero.
-  bool should_prune(double s_max) const;
+  // or the threshold is zero. Header-inline (one call per (token, chunk)):
+  // keeps vastly outnumber prunes on real score distributions, so first try
+  // to prove the keep with a transcendental-free upper bound on ln D — if
+  // s_max clears even the over-estimate of ln D, the exact comparison must
+  // also keep (same decision, no std::log). Only near-threshold tokens (and
+  // actual prunes) fall through to the exact test.
+  bool should_prune(double s_max) const {
+    if (denom_.empty()) return false;  // nothing to compare against yet
+    if (config_.threshold <= 0.0) return false;
+    if (config_.fixed_point_compare) return should_prune_fixed_point(s_max);
+    if (s_max - denom_.log_upper_bound() > log_threshold_) return false;
+    return s_max - denom_.log() <= log_threshold_;
+  }
 
   // Upper bound p'' for diagnostics (may exceed 1 early on).
   double estimate_upper(double s_max) const;
 
   // Registers / tightens a surviving token's denominator term exp(s_min).
   // First call for a token adds, later calls replace (the PEC/DAG update).
-  void update_token(std::size_t token, double s_min);
+  // The cached Term lets replace skip re-exponentiating the old s_min when
+  // the sum's shift hasn't moved — bit-identical, one std::exp cheaper on
+  // the per-chunk tighten path.
+  void update_token(std::size_t token, double s_min) {
+    require(token < contribution_.size(), "estimator: token out of range");
+    double& slot = contribution_[token];
+    if (std::isnan(slot)) {
+      term_cache_[token] = denom_.add_term(s_min);
+    } else {
+      term_cache_[token] = denom_.replace_term(slot, s_min,
+                                               term_cache_[token]);
+    }
+    slot = s_min;
+  }
 
   // Marks a token pruned; under remove_on_prune its term leaves the
   // denominator.
@@ -61,11 +87,17 @@ class ProbabilityEstimator {
   const EstimatorConfig& config() const { return config_; }
 
  private:
+  // The RPDU fixed-point comparison path (out of line: fxexp dependency).
+  bool should_prune_fixed_point(double s_max) const;
+
   EstimatorConfig config_;
   double log_threshold_;
   ShiftedExpSum denom_;
   // Last s_min registered per token; NaN = no contribution present.
   std::vector<double> contribution_;
+  // Linear-domain cache of each token's denominator term (see
+  // ShiftedExpSum::Term) — skips one exp per per-chunk tighten.
+  std::vector<ShiftedExpSum::Term> term_cache_;
 };
 
 }  // namespace topick

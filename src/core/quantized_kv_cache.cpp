@@ -2,6 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
 
 #include "common/expsum.h"
 #include "common/require.h"
@@ -20,27 +30,42 @@ float scale_for_amax(float amax, int total_bits) {
 }
 
 float row_amax(std::span<const float> xs) {
+#if defined(__AVX2__)
+  // max over |x| is order-independent (no rounding), so the vector reduction
+  // is exact.
+  const float* data = xs.data();
+  std::size_t i = 0;
+  __m256 vmax = _mm256_setzero_ps();
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  for (; i + 8 <= xs.size(); i += 8) {
+    vmax = _mm256_max_ps(vmax,
+                         _mm256_and_ps(_mm256_loadu_ps(data + i), abs_mask));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vmax);
+  float amax = 0.0f;
+  for (const float lane : lanes) amax = std::max(amax, lane);
+  for (; i < xs.size(); ++i) amax = std::max(amax, std::abs(data[i]));
+  return amax;
+#else
   float amax = 0.0f;
   for (float x : xs) amax = std::max(amax, std::abs(x));
   return amax;
+#endif
 }
 
-// Must mirror fx::quantize's element math exactly (round-to-nearest via
-// lround, saturate to [qmin, qmax]).
+// fx::quantize's element math exactly — it IS fx::quantize_row_i16, the one
+// shared round/saturate kernel (see fixedpoint/quant.h).
 void quantize_row(std::span<const float> xs, const fx::QuantParams& params,
                   std::int16_t* out) {
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const auto q =
-        static_cast<std::int32_t>(std::lround(xs[i] / params.scale));
-    out[i] = static_cast<std::int16_t>(
-        std::clamp(q, params.qmin(), params.qmax()));
-  }
+  fx::quantize_row_i16(xs.data(), xs.size(), params, out);
 }
 
 }  // namespace
 
-std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
-                         std::size_t n) {
+std::int64_t row_dot_i64_scalar(const std::int16_t* a, const std::int16_t* b,
+                                std::size_t n) {
   std::int64_t acc = 0;
   for (std::size_t i = 0; i < n; ++i) {
     acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
@@ -48,7 +73,89 @@ std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
   return acc;
 }
 
+#if defined(__AVX2__)
+const char* row_dot_kernel_name() { return "avx2"; }
+#elif defined(__ARM_NEON)
+const char* row_dot_kernel_name() { return "neon"; }
+#else
+const char* row_dot_kernel_name() { return "portable"; }
+#endif
+
+void weighted_value_accum_scalar(float* out, const std::int16_t* v, double p,
+                                 double v_scale, std::size_t n) {
+  for (std::size_t d = 0; d < n; ++d) {
+    out[d] += static_cast<float>(p * static_cast<double>(v[d]) * v_scale);
+  }
+}
+
+#if defined(__AVX2__)
+
+void weighted_value_accum(float* out, const std::int16_t* v, double p,
+                          double v_scale, std::size_t n) {
+  // Four lanes of exactly the scalar op sequence: (p * double(v)) * v_scale
+  // in double, round to float (cvtpd_ps == static_cast), float add.
+  const __m256d vp = _mm256_set1_pd(p);
+  const __m256d vs = _mm256_set1_pd(v_scale);
+  std::size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    const __m128i vi16 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(v + d));
+    const __m256d vd = _mm256_cvtepi32_pd(_mm_cvtepi16_epi32(vi16));
+    const __m256d prod = _mm256_mul_pd(_mm256_mul_pd(vp, vd), vs);
+    const __m128 add = _mm256_cvtpd_ps(prod);
+    _mm_storeu_ps(out + d, _mm_add_ps(_mm_loadu_ps(out + d), add));
+  }
+  for (; d < n; ++d) {
+    out[d] += static_cast<float>(p * static_cast<double>(v[d]) * v_scale);
+  }
+}
+
+#else
+
+void weighted_value_accum(float* out, const std::int16_t* v, double p,
+                          double v_scale, std::size_t n) {
+  weighted_value_accum_scalar(out, v, p, v_scale, n);
+}
+
+#endif
+
 // ---- QuantizedKvStore -------------------------------------------------------
+
+namespace {
+
+// Builds (or returns the cached) chunk-plane delta table for a bit layout.
+// One table per (total_bits, chunk_bits) process-wide — it is immutable
+// after construction, so concurrent stores can all read it. The mutex only
+// guards the build-once map (reset-time, never the row hot path).
+const std::vector<std::vector<std::int16_t>>* shared_plane_lut(
+    const fx::QuantParams& kp) {
+  static std::mutex mutex;
+  static std::map<std::pair<int, int>,
+                  std::unique_ptr<const std::vector<std::vector<std::int16_t>>>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& entry = cache[{kp.total_bits, kp.chunk_bits}];
+  if (!entry) {
+    const std::size_t domain =
+        static_cast<std::size_t>(kp.qmax() - kp.qmin() + 1);
+    std::vector<std::vector<std::int16_t>> lut(
+        static_cast<std::size_t>(kp.num_chunks()),
+        std::vector<std::int16_t>(domain));
+    for (int b = 0; b < kp.num_chunks(); ++b) {
+      for (std::size_t i = 0; i < domain; ++i) {
+        const auto q = static_cast<std::int16_t>(
+            kp.qmin() + static_cast<std::int32_t>(i));
+        lut[static_cast<std::size_t>(b)][i] = static_cast<std::int16_t>(
+            fx::partial_value(q, b + 1, kp) - fx::partial_value(q, b, kp));
+      }
+    }
+    entry = std::make_unique<const std::vector<std::vector<std::int16_t>>>(
+        std::move(lut));
+  }
+  return entry.get();
+}
+
+}  // namespace
 
 void QuantizedKvStore::reset(const fx::QuantParams& kp,
                              const fx::QuantParams& vp, std::size_t dim) {
@@ -56,6 +163,7 @@ void QuantizedKvStore::reset(const fx::QuantParams& kp,
   value_params = vp;
   head_dim = dim;
   key_planes.resize(static_cast<std::size_t>(kp.num_chunks()));
+  plane_lut = shared_plane_lut(kp);
   clear_rows();
 }
 
@@ -71,16 +179,17 @@ void QuantizedKvStore::push_row(const std::int16_t* k_row,
   keys.insert(keys.end(), k_row, k_row + head_dim);
   values.insert(values.end(), v_row, v_row + head_dim);
   const int num_chunks = key_params.num_chunks();
+  const std::int32_t qmin = key_params.qmin();
   for (int b = 0; b < num_chunks; ++b) {
     auto& plane = key_planes[static_cast<std::size_t>(b)];
     const std::size_t base = plane.size();
     plane.resize(base + head_dim);
+    // The chunk's contribution to the partial dot: non-negative low bits
+    // for b > 0, the signed prefix for b == 0 (see fixedpoint/chunks.h) —
+    // precomputed per quantized value in plane_lut.
+    const std::int16_t* lut = (*plane_lut)[static_cast<std::size_t>(b)].data();
     for (std::size_t d = 0; d < head_dim; ++d) {
-      // The chunk's contribution to the partial dot: non-negative low bits
-      // for b > 0, the signed prefix for b == 0 (see fixedpoint/chunks.h).
-      plane[base + d] = static_cast<std::int16_t>(
-          fx::partial_value(k_row[d], b + 1, key_params) -
-          fx::partial_value(k_row[d], b, key_params));
+      plane[base + d] = lut[k_row[d] - qmin];
     }
   }
   ++len;
@@ -391,12 +500,8 @@ void exact_attention_view(std::span<const float> q, const QuantizedKvView& kv,
   result->output.assign(kv.head_dim, 0.0f);
   const float v_scale = kv.value_params.scale;
   for (std::size_t t = 0; t < kv.len; ++t) {
-    const std::int16_t* value = kv.value(t);
-    const auto p = result->probs[t];
-    for (std::size_t d = 0; d < kv.head_dim; ++d) {
-      result->output[d] += static_cast<float>(
-          p * static_cast<double>(value[d]) * v_scale);
-    }
+    weighted_value_accum(result->output.data(), kv.value(t), result->probs[t],
+                         static_cast<double>(v_scale), kv.head_dim);
   }
 }
 

@@ -27,6 +27,12 @@
 #include <span>
 #include <vector>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
 #include "core/exact_attention.h"
 #include "fixedpoint/quant.h"
 #include "model/kv_cache.h"
@@ -55,9 +61,125 @@ struct QuantizedKvView {
   }
 };
 
-// Contiguous int16 dot product (int64 accumulator) — the plane-walk kernel.
-std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
-                         std::size_t n);
+// Contiguous int16 dot product (int64 accumulator) — the plane-walk kernel,
+// the top kernel of the decode hot path. row_dot_i64 dispatches at compile
+// time to an AVX2 or NEON implementation when one is enabled (build with
+// -DTOPICK_NATIVE_ARCH=ON, which adds -march=native) and to a portable
+// unrolled loop otherwise. Integer dot products have one right answer, so
+// every path is element-exact against row_dot_i64_scalar — SIMD cannot
+// change any pruning decision (tests/parallel_test.cpp pins this over
+// adversarial int16 extremes and odd remainders). The one excluded input:
+// the AVX2 path relies on _mm256_madd_epi16, whose pairwise int32 sum wraps
+// only when both multiplied pairs are exactly (-32768, -32768) — values
+// quantize() can never produce (|q| < 2^14 for total_bits <= 15).
+// Header-inline: it is called once per (token, chunk) and the call overhead
+// is measurable at that rate.
+#if defined(__AVX2__)
+
+inline std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
+                                std::size_t n) {
+  // 16 int16 lanes per iteration: madd multiplies int16 pairs and sums
+  // adjacent products into 8 exact int32 lanes (see above for the one
+  // unreachable wrap case), which are widened to int64 before accumulating —
+  // so the accumulator is full-width everywhere, like the scalar reference.
+  __m256i acc = _mm256_setzero_si256();  // 4 x int64
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i pair_sums = _mm256_madd_epi16(va, vb);  // 8 x int32
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(pair_sums)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(pair_sums, 1)));
+  }
+  if (i + 8 <= n) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i pair_sums = _mm_madd_epi16(va, vb);  // 4 x int32
+    acc = _mm256_add_epi64(acc, _mm256_cvtepi32_epi64(pair_sums));
+    i += 8;
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+#elif defined(__ARM_NEON)
+
+inline std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
+                                std::size_t n) {
+  // vmull widens int16 products to exact int32; vpadal folds them pairwise
+  // into int64 accumulators. Exact for every int16 input.
+  int64x2_t acc = vdupq_n_s64(0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t va = vld1q_s16(a + i);
+    const int16x8_t vb = vld1q_s16(b + i);
+    acc = vpadalq_s32(acc, vmull_s16(vget_low_s16(va), vget_low_s16(vb)));
+    acc = vpadalq_s32(acc, vmull_s16(vget_high_s16(va), vget_high_s16(vb)));
+  }
+  std::int64_t sum = vgetq_lane_s64(acc, 0) + vgetq_lane_s64(acc, 1);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+#else
+
+inline std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
+                                std::size_t n) {
+  // Four independent accumulator chains so the compiler's auto-vectorizer
+  // (and out-of-order hardware) isn't serialized on one add chain.
+  std::int64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+    acc1 += static_cast<std::int32_t>(a[i + 1]) *
+            static_cast<std::int32_t>(b[i + 1]);
+    acc2 += static_cast<std::int32_t>(a[i + 2]) *
+            static_cast<std::int32_t>(b[i + 2]);
+    acc3 += static_cast<std::int32_t>(a[i + 3]) *
+            static_cast<std::int32_t>(b[i + 3]);
+  }
+  std::int64_t sum = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+#endif
+// The scalar reference implementation (always compiled; the equivalence
+// oracle for the SIMD paths).
+std::int64_t row_dot_i64_scalar(const std::int16_t* a, const std::int16_t* b,
+                                std::size_t n);
+
+// out[d] += float(p * double(v[d]) * v_scale) for d in [0, n): the
+// survivor-weighted V accumulation of the softmax output. The AVX2 path
+// performs exactly the scalar op sequence in each lane (double mul, double
+// mul, round-to-float, float add), so it is bit-identical to the scalar
+// loop — proven against weighted_value_accum_scalar in
+// tests/parallel_test.cpp.
+void weighted_value_accum(float* out, const std::int16_t* v, double p,
+                          double v_scale, std::size_t n);
+void weighted_value_accum_scalar(float* out, const std::int16_t* v, double p,
+                                 double v_scale, std::size_t n);
+
+// Row quantization lives in fx::quantize_row_i16 (fixedpoint/quant.h) — the
+// single implementation of the element math shared by fx::quantize_into and
+// the cache's append/requantize paths (the prompt-prefill hot kernel).
+// Which row_dot_i64 implementation this build selected: "avx2", "neon", or
+// "portable" (recorded in BENCH_hotpath.json so archived numbers are
+// attributable to a kernel).
+const char* row_dot_kernel_name();
 
 // Owning chunk-planar storage for already-quantized rows. QuantizedKvCache
 // embeds one; TokenPickerAttention builds transient ones from AoS inputs.
@@ -69,12 +191,23 @@ struct QuantizedKvStore {
   std::vector<std::int16_t> keys;
   std::vector<std::int16_t> values;
   std::vector<std::vector<std::int16_t>> key_planes;  // [num_chunks]
+  // Chunk-plane delta LUT: (*plane_lut)[b][q - qmin] ==
+  // partial_value(q, b+1) - partial_value(q, b). A pure function of the bit
+  // layout (total_bits / chunk_bits — scale never enters), so it survives
+  // rescales and turns push_row's plane fill into table lookups instead of
+  // per-element mask arithmetic (the requantize_all hot loop). Points into a
+  // process-wide cache keyed by the bit layout: every store across every
+  // (slot, layer, head) instance shares one table instead of rebuilding
+  // num_chunks * 2^total_bits entries per admission.
+  const std::vector<std::vector<std::int16_t>>* plane_lut = nullptr;
 
   // Sets precision/scale and head_dim; drops all rows, keeps capacity.
   void reset(const fx::QuantParams& key_params,
              const fx::QuantParams& value_params, std::size_t head_dim);
   void clear_rows();
   // Appends one already-quantized token row (computes its key planes).
+  // Precondition: every element lies in [params.qmin(), params.qmax()] —
+  // quantize() output always does (the plane LUT is indexed by value).
   void push_row(const std::int16_t* k_row, const std::int16_t* v_row);
   // Stable in-place removal of rows where keep[r] == 0.
   void compact(const std::uint8_t* keep);

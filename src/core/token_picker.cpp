@@ -12,23 +12,6 @@ PrunePersistence::PrunePersistence(int window) : window_(window) {
   require(window > 0, "PrunePersistence: window must be positive");
 }
 
-void PrunePersistence::observe(std::size_t token, bool kept) {
-  if (token >= streaks_.size()) streaks_.resize(token + 1, 0);
-  streaks_[token] = kept ? 0 : streaks_[token] + 1;
-}
-
-bool PrunePersistence::persistent(std::size_t token) const {
-  return streak(token) >= window_;
-}
-
-int PrunePersistence::streak(std::size_t token) const {
-  return token < streaks_.size() ? streaks_[token] : 0;
-}
-
-void PrunePersistence::forget(std::size_t token) {
-  if (token < streaks_.size()) streaks_[token] = 0;
-}
-
 TokenPickerAttention::TokenPickerAttention(const TokenPickerConfig& config)
     : config_(config),
       estimator_(config.estimator),
@@ -55,9 +38,18 @@ TokenPickerResult TokenPickerAttention::attend_quantized(
   const std::size_t head_dim = q.size();
 
   aos_scratch_.reset(kv.keys[0].params, kv.values[0].params, head_dim);
+  const auto kmin = static_cast<std::int16_t>(kv.keys[0].params.qmin());
+  const auto kmax = static_cast<std::int16_t>(kv.keys[0].params.qmax());
   for (std::size_t t = 0; t < len; ++t) {
     require(kv.keys[t].size() == head_dim && kv.values[t].size() == head_dim,
             "attend_quantized: row size mismatch");
+    // push_row's plane LUT is indexed by value, so enforce the store's
+    // precondition here — the one entry point whose rows need not come from
+    // quantize() (which always clamps into [qmin, qmax]).
+    for (const std::int16_t k : kv.keys[t].values) {
+      require(k >= kmin && k <= kmax,
+              "attend_quantized: key value outside the head's quant range");
+    }
     aos_scratch_.push_row(kv.keys[t].values.data(), kv.values[t].values.data());
   }
   attend_view(q, aos_scratch_.view(), score_scale, &result_scratch_);
@@ -175,11 +167,8 @@ void TokenPickerAttention::attend_view(const fx::QuantizedVector& q,
   for (std::size_t t = 0; t < len; ++t) {
     if (!kept_[t]) continue;
     const double p = std::exp(survivor_scores_[t] - result->log_denominator);
-    const std::int16_t* value = kv.value(t);
-    for (std::size_t d = 0; d < head_dim; ++d) {
-      result->output[d] += static_cast<float>(
-          p * static_cast<double>(value[d]) * v_scale);
-    }
+    weighted_value_accum(result->output.data(), kv.value(t), p,
+                         static_cast<double>(v_scale), head_dim);
   }
 
   // Oracle diagnostic: true probability mass of pruned tokens under the full

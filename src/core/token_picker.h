@@ -81,12 +81,21 @@ class PrunePersistence {
 
   // Records one attention instance's verdict for a token. A kept token's
   // streak resets to zero; a pruned token's streak grows by one.
-  void observe(std::size_t token, bool kept);
+  // (Header-inline with the readers below: the serve reduction calls these
+  // once per decision per step.)
+  void observe(std::size_t token, bool kept) {
+    if (token >= streaks_.size()) streaks_.resize(token + 1, 0);
+    streaks_[token] = kept ? 0 : streaks_[token] + 1;
+  }
 
-  bool persistent(std::size_t token) const;
-  int streak(std::size_t token) const;
+  bool persistent(std::size_t token) const { return streak(token) >= window_; }
+  int streak(std::size_t token) const {
+    return token < streaks_.size() ? streaks_[token] : 0;
+  }
   // Drops tracker state for a token whose storage has been reclaimed.
-  void forget(std::size_t token);
+  void forget(std::size_t token) {
+    if (token < streaks_.size()) streaks_[token] = 0;
+  }
 
   int window() const { return window_; }
 

@@ -45,10 +45,4 @@ void MarginTable::rebuild(const QuantizedVector& q, const QuantParams& k_params)
   }
 }
 
-const MarginPair& MarginTable::at_level(int chunks_known) const {
-  require(chunks_known >= 0 && chunks_known < levels(),
-          "MarginTable: level out of range");
-  return pairs_[static_cast<std::size_t>(chunks_known)];
-}
-
 }  // namespace topick::fx

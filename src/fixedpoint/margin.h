@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/require.h"
 #include "fixedpoint/quant.h"
 
 namespace topick::fx {
@@ -42,7 +43,12 @@ class MarginTable {
   // (the per-call path of the attention hot loop).
   void rebuild(const QuantizedVector& q, const QuantParams& k_params);
 
-  const MarginPair& at_level(int chunks_known) const;
+  // Header-inline: called once per (token, chunk) on the decode hot path.
+  const MarginPair& at_level(int chunks_known) const {
+    require(chunks_known >= 0 && chunks_known < levels(),
+            "MarginTable: level out of range");
+    return pairs_[static_cast<std::size_t>(chunks_known)];
+  }
   int levels() const { return static_cast<int>(pairs_.size()); }
 
  private:

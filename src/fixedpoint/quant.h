@@ -39,6 +39,22 @@ QuantizedVector quantize(std::span<const float> xs, const QuantParams& params);
 void quantize_into(std::span<const float> xs, const QuantParams& params,
                    QuantizedVector* out);
 
+// Raw-buffer quantization kernel: out[i] = saturate-round(xs[i] / scale) —
+// the single implementation of the element math behind quantize/
+// quantize_into and the KV-cache row path. IEEE float divide; round to
+// nearest, half away from zero (lround); saturation happens in the FLOAT
+// domain before any narrowing, so extreme |x|/scale ratios (tiny-scale
+// head, outlier activation, inf) clamp to qmin/qmax instead of wrapping —
+// the historical int32 narrowing bug. The AVX2 variant is element-exact to
+// the scalar reference: the divide is IEEE per lane, and for a float ratio
+// r promoted to double d, trunc(d + copysign(0.5, d)) equals lround(d)
+// exactly (d and d±0.5 are both exactly representable) — pinned in
+// tests/parallel_test.cpp over half-way and saturating extremes.
+void quantize_row_i16(const float* xs, std::size_t n,
+                      const QuantParams& params, std::int16_t* out);
+void quantize_row_i16_scalar(const float* xs, std::size_t n,
+                             const QuantParams& params, std::int16_t* out);
+
 // Convenience: picks the scale from the data, then quantizes.
 QuantizedVector quantize_auto(std::span<const float> xs, int total_bits = 12,
                               int chunk_bits = 4);

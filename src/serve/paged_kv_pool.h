@@ -49,6 +49,10 @@ class PagedKvPool {
   }
   // High-water mark of pages_in_use since construction.
   std::size_t peak_pages_in_use() const { return peak_in_use_; }
+  // Never divides by zero: the constructor requires a non-empty pool
+  // (num_pages, page_tokens, head_dim all positive), so a zero-page config
+  // throws at construction instead of silently poisoning FleetMetrics
+  // aggregates with NaN here (tests/serve_test.cpp pins the edge cases).
   double occupancy() const {
     return static_cast<double>(pages_in_use()) /
            static_cast<double>(config_.num_pages);

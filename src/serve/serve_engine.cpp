@@ -18,6 +18,19 @@ double percentile_or_zero(const std::vector<double>& samples, double p) {
 
 }  // namespace
 
+// Per-worker attention scratch: the parallel attention phase runs one
+// Workspace per thread, so no TokenPickerAttention (or exact-path) scratch is
+// ever shared across workers. Results cannot depend on which worker ran an
+// instance — every buffer is rebuilt per attend.
+struct ServeEngine::Workspace {
+  explicit Workspace(const TokenPickerConfig& config) : picker(config) {}
+
+  TokenPickerAttention picker;
+  TokenPickerResult picker_result;
+  ExactAttentionResult exact_result;
+  fx::QuantizedVector exact_q_scratch;
+};
+
 struct ServeEngine::Slot {
   Slot(PagedKvPool* pool, const ServeConfig& config)
       : cache(pool, config.n_layer, config.n_head) {
@@ -130,15 +143,22 @@ ServeEngine::ServeEngine(const ServeConfig& config)
                             static_cast<std::size_t>(config.head_dim)}),
       batcher_(BatcherConfig{config.max_batch, config.max_prefill}),
       policy_(make_policy(config.policy, config.policy_params)),
-      picker_(config.picker),
-      hbm_(config.dram) {
+      hbm_(config.dram),
+      workers_(config.threads) {
   require(config.n_layer > 0 && config.n_head > 0 && config.head_dim > 0,
           "ServeConfig: bad shape");
+  require(workers_.threads() <= 1 ||
+              config.picker.order != OrderingPolicy::random_order,
+          "ServeConfig: random_order draws from a shared RNG stream and is "
+          "not reproducible across thread counts; use threads = 1");
   config_.stream.head_dim = config.head_dim;
   // The oracle pass is an O(context) diagnostic per attention instance; the
   // engine's hot loop must stay O(kept). Outputs/decisions are unaffected.
   config_.picker.compute_oracle_mass = false;
-  picker_ = TokenPickerAttention(config_.picker);
+  workspaces_.reserve(workers_.threads());
+  for (std::size_t w = 0; w < workers_.threads(); ++w) {
+    workspaces_.push_back(std::make_unique<Workspace>(config_.picker));
+  }
 }
 
 ServeEngine::~ServeEngine() = default;
@@ -313,8 +333,7 @@ void ServeEngine::begin_prefill(std::size_t request) {
   slots_[request] = std::move(slot);
 }
 
-bool ServeEngine::prefill_chunk(std::size_t request,
-                                std::vector<std::uint64_t>* step_bits) {
+bool ServeEngine::append_prefill_chunk(std::size_t request) {
   Request& req = requests_[request];
   const std::size_t remaining = req.prefill_target - req.prefilled;
   const std::size_t chunk =
@@ -324,32 +343,25 @@ bool ServeEngine::prefill_chunk(std::size_t request,
   if (!ensure_pages_for_append(request, chunk)) return false;
   Slot& slot = *slots_[request];
 
-  const auto dim = static_cast<std::size_t>(config_.head_dim);
   for (int layer = 0; layer < config_.n_layer; ++layer) {
     for (int head = 0; head < config_.n_head; ++head) {
-      const auto inst = static_cast<std::size_t>(layer) * config_.n_head + head;
       auto& seq = slot.cache.seq(layer, head);
       for (std::size_t t = req.prefilled; t < req.prefilled + chunk; ++t) {
         const bool ok = seq.append(req.stream.key(layer, head, t),
                                    req.stream.value(layer, head, t));
         require(ok, "ServeEngine: prefill append failed despite page check");
       }
-      // Quantize the chunk once, via the bulk path (at most one rescale).
-      const auto& hs = req.stream.head(layer, head);
-      slot.qcaches[inst].append_rows(hs.keys.data() + req.prefilled * dim,
-                                     hs.values.data() + req.prefilled * dim,
-                                     chunk, req.prefilled);
     }
   }
 
-  const std::uint64_t bits =
-      chunk * req.stream.token_write_bits(kv_bits_per_element());
-  req.prefilled += chunk;
-  req.prefill_bits += bits;
-  metrics_.prefill_bits += bits;
-  metrics_.prefill_tokens += chunk;
-  (*step_bits)[request] = bits;
+  PendingWork work;
+  work.request = request;
+  work.decode = false;
+  work.chunk = chunk;
+  work.prefilled_before = req.prefilled;
+  pending_.push_back(work);
 
+  req.prefilled += chunk;
   if (req.prefilled == req.prefill_target) {
     req.state = RequestState::running;  // first decode next step
     batcher_.begin_decode(request);
@@ -357,10 +369,25 @@ bool ServeEngine::prefill_chunk(std::size_t request,
   return true;
 }
 
+void ServeEngine::cancel_step_work(std::size_t request) {
+  // A victim preempted mid-append-phase loses its same-step work: the pages
+  // it appended this step are released with the rest of its slot, so neither
+  // the attention phase nor the reduction may see its PendingWork. (Only the
+  // append phase preempts, so pending_ holds at most one entry per request
+  // and units_/results_/active_ are not built yet.)
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].request == request) {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
 void ServeEngine::do_preempt(std::size_t request) {
   Request& req = requests_[request];
   slots_[request]->cache.release_all();
   slots_[request].reset();
+  cancel_step_work(request);
   req.enqueue_step = now_;  // new queued stint starts now
   req.state = RequestState::preempted;
   ++req.preemptions;
@@ -422,127 +449,206 @@ bool ServeEngine::ensure_pages_for_append(std::size_t request,
   return true;
 }
 
-bool ServeEngine::decode_one(std::size_t request,
-                             std::vector<std::uint64_t>* step_bits) {
+bool ServeEngine::append_decode_token(std::size_t request) {
   Request& req = requests_[request];
   const std::size_t pos = req.event.prompt_len + req.generated;
-  const auto dim = static_cast<std::size_t>(config_.head_dim);
 
   if (!ensure_pages_for_append(request, 1)) return false;
   Slot& slot = *slots_[request];
+  for (int layer = 0; layer < config_.n_layer; ++layer) {
+    for (int head = 0; head < config_.n_head; ++head) {
+      const bool ok =
+          slot.cache.seq(layer, head)
+              .append(req.stream.key(layer, head, pos),
+                      req.stream.value(layer, head, pos));
+      require(ok, "ServeEngine: decode append failed despite page check");
+    }
+  }
+
+  PendingWork work;
+  work.request = request;
+  work.decode = true;
+  work.pos = pos;
+  pending_.push_back(work);
+  return true;
+}
+
+void ServeEngine::run_decode_instance(std::size_t pending, std::size_t inst,
+                                      std::size_t worker) {
+  const PendingWork& work = pending_[pending];
+  Request& req = requests_[work.request];
+  Slot& slot = *slots_[work.request];
+  const auto dim = static_cast<std::size_t>(config_.head_dim);
+  const int layer = static_cast<int>(inst) / config_.n_head;
+  const int head = static_cast<int>(inst) % config_.n_head;
+  auto& qcache = slot.qcaches[inst];
+
+  // Quantize the new token once; earlier tokens stay quantized (the cache
+  // rescales the head only when the live max|x| changes).
+  qcache.append(req.stream.key(layer, head, work.pos),
+                req.stream.value(layer, head, work.pos), work.pos);
+
+  const auto q = req.stream.query(layer, head, req.generated);
+  const auto n_inst = static_cast<std::size_t>(config_.n_layer) *
+                      config_.n_head;
+  InstanceResult& res = results_[pending * n_inst + inst];
+  res.stats = AccessStats{};
+  res.decisions.clear();
+  Workspace& ws = *workspaces_[worker];
+
+  switch (config_.backend) {
+    case BackendKind::token_picker: {
+      ws.picker.attend_cached(q, qcache, &ws.picker_result);
+      res.stats = ws.picker_result.stats;
+      res.out.assign(ws.picker_result.output.begin(),
+                     ws.picker_result.output.end());
+      res.decisions.assign(ws.picker_result.decisions.begin(),
+                           ws.picker_result.decisions.end());
+      break;
+    }
+    case BackendKind::exact_quantized: {
+      exact_attention_view(q, qcache.view(), &ws.exact_q_scratch,
+                           &ws.exact_result);
+      res.out.assign(ws.exact_result.output.begin(),
+                     ws.exact_result.output.end());
+      const auto full_bits = static_cast<std::uint64_t>(qcache.len()) * dim *
+                             config_.picker.quant.total_bits;
+      res.stats.k_bits_fetched = res.stats.k_bits_baseline = full_bits;
+      res.stats.v_bits_fetched = res.stats.v_bits_baseline = full_bits;
+      res.stats.tokens_total = res.stats.tokens_kept = qcache.len();
+      break;
+    }
+    case BackendKind::spatten: {
+      res.out.assign(dim, 0.0f);
+      AttentionContext ctx;
+      ctx.layer = layer;
+      ctx.head = head;
+      ctx.position = static_cast<int>(work.pos);
+      const AccessStats before = slot.spatten->stats();
+      // SpAtten never reclaims pool storage, so cache position == global
+      // token id — the pruner's importance indexing stays valid.
+      slot.spatten->attend_view(q, qcache.view(), res.out, ctx);
+      const AccessStats after = slot.spatten->stats();
+      res.stats.k_bits_fetched = after.k_bits_fetched - before.k_bits_fetched;
+      res.stats.v_bits_fetched = after.v_bits_fetched - before.v_bits_fetched;
+      res.stats.k_bits_baseline =
+          after.k_bits_baseline - before.k_bits_baseline;
+      res.stats.v_bits_baseline =
+          after.v_bits_baseline - before.v_bits_baseline;
+      res.stats.tokens_total = after.tokens_total - before.tokens_total;
+      res.stats.tokens_kept = after.tokens_kept - before.tokens_kept;
+      break;
+    }
+  }
+}
+
+void ServeEngine::run_unit(const ParallelUnit& unit, std::size_t worker) {
+  const PendingWork& work = pending_[unit.pending];
+  const auto n_inst = static_cast<std::size_t>(config_.n_layer) *
+                      config_.n_head;
+  if (!work.decode) {
+    // Prefill: quantize this instance's chunk via the bulk path (at most one
+    // rescale for the whole chunk). Instances touch disjoint caches.
+    Request& req = requests_[work.request];
+    Slot& slot = *slots_[work.request];
+    const auto dim = static_cast<std::size_t>(config_.head_dim);
+    const auto inst = static_cast<std::size_t>(unit.inst);
+    const int layer = unit.inst / config_.n_head;
+    const int head = unit.inst % config_.n_head;
+    const auto& hs = req.stream.head(layer, head);
+    slot.qcaches[inst].append_rows(
+        hs.keys.data() + work.prefilled_before * dim,
+        hs.values.data() + work.prefilled_before * dim, work.chunk,
+        work.prefilled_before);
+    return;
+  }
+  if (unit.inst >= 0) {
+    run_decode_instance(unit.pending, static_cast<std::size_t>(unit.inst),
+                        worker);
+  } else {
+    // SpAtten slot grain: the pruner's importance cascade couples the slot's
+    // instances, so they run sequentially inside one unit.
+    for (std::size_t inst = 0; inst < n_inst; ++inst) {
+      run_decode_instance(unit.pending, inst, worker);
+    }
+  }
+}
+
+void ServeEngine::reduce_pending(std::size_t pending) {
+  const PendingWork& work = pending_[pending];
+  Request& req = requests_[work.request];
+
+  if (!work.decode) {
+    const std::uint64_t bits =
+        work.chunk * req.stream.token_write_bits(kv_bits_per_element());
+    req.prefill_bits += bits;
+    metrics_.prefill_bits += bits;
+    metrics_.prefill_tokens += work.chunk;
+    step_bits_[work.request] = bits;
+    active_.push_back(StepXfer{work.request, /*decode=*/false});
+    return;
+  }
+
+  Slot& slot = *slots_[work.request];
+  const auto n_inst = static_cast<std::size_t>(config_.n_layer) *
+                      config_.n_head;
 
   StepOutput record;
   if (config_.capture_outputs) {
-    record.position = pos;
-    const auto n_inst =
-        static_cast<std::size_t>(config_.n_layer) * config_.n_head;
+    record.position = work.pos;
     record.out.resize(n_inst);
     record.view_tokens.resize(n_inst);
     record.kept_tokens.resize(n_inst);
   }
 
   std::uint64_t bits = 0;
-  for (int layer = 0; layer < config_.n_layer; ++layer) {
-    for (int head = 0; head < config_.n_head; ++head) {
-      const auto inst = static_cast<std::size_t>(layer) * config_.n_head + head;
-      auto& seq = slot.cache.seq(layer, head);
-      auto& qcache = slot.qcaches[inst];
-      {
-        const bool ok = seq.append(req.stream.key(layer, head, pos),
-                                   req.stream.value(layer, head, pos));
-        require(ok, "ServeEngine: decode append failed despite page check");
+  for (std::size_t inst = 0; inst < n_inst; ++inst) {
+    InstanceResult& res = results_[pending * n_inst + inst];
+    auto& qcache = slot.qcaches[inst];
+    std::vector<std::size_t> kept_ids;
+
+    if (config_.backend == BackendKind::token_picker) {
+      auto& persistence = slot.persistence[inst];
+      for (const auto& decision : res.decisions) {
+        const std::size_t global = qcache.id_at(decision.token);
+        persistence.observe(global, decision.kept);
+        if (config_.capture_outputs && decision.kept) {
+          kept_ids.push_back(global);
+        }
       }
-      // Quantize the new token once; earlier tokens stay quantized (the
-      // cache rescales the head only when the live max|x| changes).
-      qcache.append(req.stream.key(layer, head, pos),
-                    req.stream.value(layer, head, pos), pos);
-
-      const auto q = req.stream.query(layer, head, req.generated);
-
-      AccessStats inst_stats;
-      const std::vector<float>* out = nullptr;
-      std::vector<std::size_t> kept_ids;
-
-      switch (config_.backend) {
-        case BackendKind::token_picker: {
-          picker_.attend_cached(q, qcache, &picker_result_);
-          inst_stats = picker_result_.stats;
-          out = &picker_result_.output;
-          auto& persistence = slot.persistence[inst];
-          for (const auto& decision : picker_result_.decisions) {
-            const std::size_t global = qcache.id_at(decision.token);
-            persistence.observe(global, decision.kept);
-            if (config_.capture_outputs && decision.kept) {
-              kept_ids.push_back(global);
-            }
+      if (config_.reclaim) {
+        auto& seq = slot.cache.seq(static_cast<int>(inst) / config_.n_head,
+                                   static_cast<int>(inst) % config_.n_head);
+        dead_scratch_.clear();
+        for (const std::size_t global : qcache.ids()) {
+          if (persistence.persistent(global)) {
+            seq.mark_dead(global);
+            persistence.forget(global);
+            dead_scratch_.push_back(global);
           }
-          if (config_.reclaim) {
-            dead_scratch_.clear();
-            for (const std::size_t global : qcache.ids()) {
-              if (persistence.persistent(global)) {
-                seq.mark_dead(global);
-                persistence.forget(global);
-                dead_scratch_.push_back(global);
-              }
-            }
-            // Page frees and the quantized mirror stay coherent: reclaimed
-            // tokens leave the cache now, so the next step's attention view
-            // (and its shared scale) covers exactly the live set.
-            if (!dead_scratch_.empty()) qcache.evict_ids(dead_scratch_);
-            metrics_.pages_reclaimed += seq.sweep();
-          }
-          break;
         }
-        case BackendKind::exact_quantized: {
-          exact_attention_view(q, qcache.view(), &exact_q_scratch_,
-                               &exact_result_);
-          out = &exact_result_.output;
-          const auto full_bits = static_cast<std::uint64_t>(qcache.len()) *
-                                 dim * config_.picker.quant.total_bits;
-          inst_stats.k_bits_fetched = inst_stats.k_bits_baseline = full_bits;
-          inst_stats.v_bits_fetched = inst_stats.v_bits_baseline = full_bits;
-          inst_stats.tokens_total = inst_stats.tokens_kept = qcache.len();
-          if (config_.capture_outputs) kept_ids = qcache.ids();
-          break;
-        }
-        case BackendKind::spatten: {
-          out_scratch_.assign(dim, 0.0f);
-          out = &out_scratch_;
-          AttentionContext ctx;
-          ctx.layer = layer;
-          ctx.head = head;
-          ctx.position = static_cast<int>(pos);
-          const AccessStats before = slot.spatten->stats();
-          // SpAtten never reclaims pool storage, so cache position == global
-          // token id — the pruner's importance indexing stays valid.
-          slot.spatten->attend_view(q, qcache.view(), out_scratch_, ctx);
-          AccessStats after = slot.spatten->stats();
-          inst_stats.k_bits_fetched =
-              after.k_bits_fetched - before.k_bits_fetched;
-          inst_stats.v_bits_fetched =
-              after.v_bits_fetched - before.v_bits_fetched;
-          inst_stats.k_bits_baseline =
-              after.k_bits_baseline - before.k_bits_baseline;
-          inst_stats.v_bits_baseline =
-              after.v_bits_baseline - before.v_bits_baseline;
-          inst_stats.tokens_total = after.tokens_total - before.tokens_total;
-          inst_stats.tokens_kept = after.tokens_kept - before.tokens_kept;
-          break;
-        }
+        // Page frees and the quantized mirror stay coherent: reclaimed
+        // tokens leave the cache now, so the next step's attention view
+        // (and its shared scale) covers exactly the live set.
+        if (!dead_scratch_.empty()) qcache.evict_ids(dead_scratch_);
+        metrics_.pages_reclaimed += seq.sweep();
       }
+    } else if (config_.backend == BackendKind::exact_quantized &&
+               config_.capture_outputs) {
+      kept_ids = qcache.ids();
+    }
 
-      bits += inst_stats.k_bits_fetched + inst_stats.v_bits_fetched;
-      req.stats.merge(inst_stats);
-      metrics_.stats.merge(inst_stats);
+    bits += res.stats.k_bits_fetched + res.stats.v_bits_fetched;
+    req.stats.merge(res.stats);
+    metrics_.stats.merge(res.stats);
 
-      if (config_.capture_outputs) {
-        record.out[inst] = *out;
-        // Post-reclaim liveness (see StepOutput in request.h): the reclaim
-        // above already evicted retired tokens from the quantized mirror, so
-        // its id list *is* the context the next decode step extends.
-        record.view_tokens[inst] = qcache.ids();
-        record.kept_tokens[inst] = std::move(kept_ids);
-      }
+    if (config_.capture_outputs) {
+      record.out[inst] = res.out;
+      // Post-reclaim liveness (see StepOutput in request.h): the reclaim
+      // above already evicted retired tokens from the quantized mirror, so
+      // its id list *is* the context the next decode step extends.
+      record.view_tokens[inst] = qcache.ids();
+      record.kept_tokens[inst] = std::move(kept_ids);
     }
   }
 
@@ -555,13 +661,13 @@ bool ServeEngine::decode_one(std::size_t request,
   metrics_.decode_write_bits += write_bits;
 
   if (config_.capture_outputs) req.outputs.push_back(std::move(record));
-  (*step_bits)[request] = bits;
+  step_bits_[work.request] = bits;
+  active_.push_back(StepXfer{work.request, /*decode=*/true});
   ++req.generated;
   ++metrics_.tokens_generated;
   ++class_metrics(req).tokens_generated;
 
-  if (req.done()) retire(request);
-  return true;
+  if (req.done()) retire(work.request);
 }
 
 void ServeEngine::retire(std::size_t request) {
@@ -641,33 +747,58 @@ bool ServeEngine::step() {
 
   admit_due_requests();
 
-  // Walk a snapshot: preemption mutates the running list mid-loop. Prefill
-  // chunks and decodes interleave in the same step and share the step's DRAM
-  // traffic below.
+  // Append phase — sequential, in admission-snapshot order: pool pressure,
+  // preemption, and paged K/V appends. Walk a snapshot: preemption mutates
+  // the running list mid-loop (and cancels a victim's recorded PendingWork).
   const std::vector<std::size_t> schedule = batcher_.running();
-  std::vector<std::uint64_t> step_bits(requests_.size(), 0);
-  std::vector<StepXfer> active;
+  pending_.clear();
+  step_bits_.assign(requests_.size(), 0);
+  active_.clear();
   for (const std::size_t request : schedule) {
     // A false return = the request self-preempted inside the call (the
     // policy shielded every running request): nothing appended, no traffic.
     if (requests_[request].state == RequestState::prefilling) {
-      if (prefill_chunk(request, &step_bits)) {
-        active.push_back(StepXfer{request, /*decode=*/false});
-      }
+      append_prefill_chunk(request);
     } else if (requests_[request].state == RequestState::running) {
-      if (decode_one(request, &step_bits)) {
-        active.push_back(StepXfer{request, /*decode=*/true});
-      }
+      append_decode_token(request);
     }
   }
 
-  if (config_.simulate_dram && !active.empty()) {
-    simulate_step_dram(step_bits, active);
+  // Attention phase — parallel over (slot, instance) units; workers write
+  // only per-worker scratch and per-unit result buffers, so the fan-out is
+  // bit-deterministic for any thread count.
+  const auto n_inst = static_cast<std::size_t>(config_.n_layer) *
+                      config_.n_head;
+  units_.clear();
+  if (results_.size() < pending_.size() * n_inst) {
+    results_.resize(pending_.size() * n_inst);
+  }
+  for (std::size_t p = 0; p < pending_.size(); ++p) {
+    if (pending_[p].decode && config_.backend == BackendKind::spatten) {
+      units_.push_back(ParallelUnit{p, -1});  // slot grain (pruner cascade)
+    } else {
+      for (std::size_t inst = 0; inst < n_inst; ++inst) {
+        units_.push_back(ParallelUnit{p, static_cast<int>(inst)});
+      }
+    }
+  }
+  workers_.parallel_for(units_.size(),
+                        [this](std::size_t unit, std::size_t worker) {
+                          run_unit(units_[unit], worker);
+                        });
+
+  // Reduction phase — sequential, in the append phase's slot order:
+  // persistence + reclamation, AccessStats merge, output capture, step
+  // traffic, retirement.
+  for (std::size_t p = 0; p < pending_.size(); ++p) reduce_pending(p);
+
+  if (config_.simulate_dram && !active_.empty()) {
+    simulate_step_dram(step_bits_, active_);
   }
 
   // Request-level latency checkpoints, stamped after the step's traffic so
   // the DRAM clock includes this step's contention.
-  for (const auto& xfer : active) {
+  for (const auto& xfer : active_) {
     if (!xfer.decode) continue;
     Request& req = requests_[xfer.request];
     if (!req.first_token_recorded && req.generated >= 1) {

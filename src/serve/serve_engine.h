@@ -3,15 +3,26 @@
 //
 // Each engine step: (1) admit due arrivals — ordered by the configured
 // SchedulingPolicy — while slots, prefill slots, and pool pages allow
-// (zero-decode requests retire at arrival); (2) for every prefilling
-// request, append up to prefill_chunk_tokens of its prompt (or preemption
-// replay) through the paged pool and charge the K/V *write* bits to the
-// step; (3) for every decoding request, append the step's K/V (resolving
+// (zero-decode requests retire at arrival); (2) append phase, sequential in
+// schedule order: every prefilling request appends up to
+// prefill_chunk_tokens of its prompt (or preemption replay) through the
+// paged pool, and every decoding request appends the step's K/V — resolving
 // pool pressure through the policy's victim pick, or self-preempting the
-// needy request when the policy protects every running one) and run one
-// attention instance per (layer, head) through the configured backend —
-// exact quantized, Token-Picker, or SpAtten; (4) feed Token-Picker's
-// per-token verdicts into PrunePersistence and reclaim fully-dead pages;
+// needy request when the policy protects every running one; (3) attention
+// phase, fanned across ServeConfig::threads workers: one attention instance
+// per (slot, layer, head) through the configured backend — exact quantized,
+// Token-Picker, or SpAtten (slot-grained: its pruner cascades across the
+// slot's instances) — each worker using only its own scratch; (4) reduction
+// phase, sequential in slot order: feed Token-Picker's per-token verdicts
+// into PrunePersistence, reclaim fully-dead pages, merge AccessStats, and
+// stamp outputs/metrics — so results are bit-identical for every thread
+// count. Two deliberate semantic shifts from the pre-phase engine, both
+// deterministic: a victim preempted during the append phase contributes no
+// work to the step (its same-step appends are rolled back with its pages),
+// and pages freed by this step's reclamation/retirement become visible to
+// pool-pressure checks only from the NEXT step's append phase — earlier,
+// a request retiring mid-step could satisfy a later-scheduled request's
+// page demand within the same step;
 //
 // Attention reads go through a per-(slot, layer, head) QuantizedKvCache that
 // quantizes each token once at append (prefill chunks use the bulk path) and
@@ -37,6 +48,7 @@
 
 #include <array>
 
+#include "common/parallel.h"
 #include "core/quantized_kv_cache.h"
 #include "core/spatten.h"
 #include "core/token_picker.h"
@@ -89,6 +101,16 @@ struct ServeConfig {
   TokenPickerConfig picker;
   SpAttenConfig spatten;
   wl::DecodeStreamParams stream;  // head_dim is overridden from above
+
+  // Worker threads for the step's attention/quantization fan-out (the
+  // calling thread included; 0 and 1 both mean sequential). Outputs,
+  // FleetMetrics, and per-step traffic are bit-identical for every value —
+  // the parallel phase computes per-(slot, layer, head) results into
+  // per-worker scratch and all mutation of shared state happens in
+  // slot-ordered sequential phases (tests/serve_invariants_test.cpp enforces
+  // identity at threads {1, 2, 8}). random_order visit ordering is the one
+  // exclusion: it draws from a shared RNG stream, so it requires threads <= 1.
+  std::size_t threads = 1;
 
   // QoS scheduling: which queued request admits next and which running
   // request is preempted under pool pressure (scheduling_policy.h).
@@ -233,13 +255,38 @@ class ServeEngine {
   const ServeConfig& config() const { return config_; }
 
  private:
-  struct Slot;  // per-running-request paged cache + pruning state
+  struct Slot;       // per-running-request paged cache + pruning state
+  struct Workspace;  // per-worker attention scratch (no sharing across workers)
 
   // One request's share of a step's DRAM traffic; decode distinguishes
   // decode-step latency samples from prefill-only transfers.
   struct StepXfer {
     std::size_t request = 0;
     bool decode = false;
+  };
+
+  // One scheduled request's unit of step work, recorded by the sequential
+  // append phase and consumed by the parallel attention phase plus the
+  // slot-ordered reduction (see step()).
+  struct PendingWork {
+    std::size_t request = 0;
+    bool decode = false;
+    std::size_t pos = 0;               // decode: appended token position
+    std::size_t chunk = 0;             // prefill: tokens appended this step
+    std::size_t prefilled_before = 0;  // prefill: cursor before this chunk
+  };
+  // Parallel grain: one (pending, instance) pair — or a whole slot for
+  // SpAtten decode (inst == -1), whose pruner cascades across instances.
+  struct ParallelUnit {
+    std::size_t pending = 0;
+    int inst = -1;
+  };
+  // Per-instance attention results, produced in the parallel phase and
+  // reduced sequentially in slot order; buffers reused across steps.
+  struct InstanceResult {
+    AccessStats stats;
+    std::vector<float> out;
+    std::vector<TokenDecision> decisions;  // token_picker backend only
   };
 
   std::size_t pages_for_prefill(const Request& request) const;
@@ -257,8 +304,20 @@ class ServeEngine {
   // policy refused to sacrifice any running request for it) — the caller
   // must not touch the slot or charge traffic.
   bool ensure_pages_for_append(std::size_t request, std::size_t tokens);
-  bool prefill_chunk(std::size_t request, std::vector<std::uint64_t>* step_bits);
-  bool decode_one(std::size_t request, std::vector<std::uint64_t>* step_bits);
+  // Append phase (sequential): pool pressure + paged appends; records a
+  // PendingWork on success.
+  bool append_prefill_chunk(std::size_t request);
+  bool append_decode_token(std::size_t request);
+  // Attention phase (parallel): quantize the appended K/V and attend, writing
+  // into results_[pending * n_inst + inst] via worker-local scratch only.
+  void run_unit(const ParallelUnit& unit, std::size_t worker);
+  void run_decode_instance(std::size_t pending, std::size_t inst,
+                           std::size_t worker);
+  // Reduction phase (sequential, slot order): persistence + reclaim, stats
+  // merge, output capture, step traffic, retirement.
+  void reduce_pending(std::size_t pending);
+  // Drops a preempted victim's recorded step work (append phase only).
+  void cancel_step_work(std::size_t request);
   void begin_prefill(std::size_t request);
   // Applies the policy's victim pick (or self-preempts `needy` on refusal —
   // the false return). Throws when `needy` is the only running request.
@@ -272,8 +331,8 @@ class ServeEngine {
   PagedKvPool pool_;
   ContinuousBatcher batcher_;
   std::unique_ptr<SchedulingPolicy> policy_;
-  TokenPickerAttention picker_;
   mem::Hbm hbm_;
+  ThreadPool workers_;
 
   std::vector<Request> requests_;
   std::vector<std::unique_ptr<Slot>> slots_;
@@ -286,11 +345,16 @@ class ServeEngine {
   double fragmentation_sum_ = 0.0;
   std::size_t fragmentation_samples_ = 0;
 
-  // Attention scratch reused across instances (allocation-free decode).
-  TokenPickerResult picker_result_;
-  ExactAttentionResult exact_result_;
-  fx::QuantizedVector exact_q_scratch_;
-  std::vector<float> out_scratch_;
+  // Per-worker attention scratch (allocation-free decode; one per thread so
+  // the parallel phase never shares TokenPickerAttention state).
+  std::vector<std::unique_ptr<Workspace>> workspaces_;
+  // Step-phase work lists, members so do_preempt can cancel a victim's
+  // recorded work mid-append-phase; reused across steps.
+  std::vector<PendingWork> pending_;
+  std::vector<ParallelUnit> units_;
+  std::vector<InstanceResult> results_;
+  std::vector<std::uint64_t> step_bits_;
+  std::vector<StepXfer> active_;
   std::vector<std::size_t> dead_scratch_;
   // Policy candidate scratch, rebuilt per pick.
   std::vector<AdmissionCandidate> admission_scratch_;

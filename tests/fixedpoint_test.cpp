@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -34,6 +35,54 @@ TEST(Quant, SaturatesAtRangeLimits) {
   const auto q = quantize(xs, p);
   EXPECT_EQ(q.values[0], p.qmax());
   EXPECT_EQ(q.values[1], p.qmin());
+}
+
+TEST(Quant, ExtremeRatiosSaturateInsteadOfWrapping) {
+  // Regression for the narrowing bug: the old path cast lround's long result
+  // to int32 BEFORE clamping, so a ratio in (INT32_MAX, LONG_MAX] wrapped to
+  // the wrong sign — and a ratio beyond long range hit lround's unspecified
+  // domain. A tiny-scale head or an outlier activation produces exactly
+  // these ratios; they must saturate to qmax/qmin.
+  QuantParams p;
+  p.scale = 1.0f;
+  const std::vector<float> xs{
+      3e9f,    // > INT32_MAX: the old cast wrapped this negative
+      -3e9f,   // < INT32_MIN mirrored
+      1e30f,   // far beyond long range: old lround was unspecified
+      -1e30f,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+  };
+  const auto q = quantize(xs, p);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(q.values[i], xs[i] > 0 ? p.qmax() : p.qmin()) << "i=" << i;
+  }
+
+  // The same ratios via a denormal-small scale (the headroom-band edge
+  // shape: moderate floats over a tiny shared scale).
+  QuantParams tiny;
+  tiny.scale = 1e-30f;
+  const std::vector<float> ys{7.5f, -7.5f};
+  const auto qt = quantize(ys, tiny);
+  EXPECT_EQ(qt.values[0], tiny.qmax());
+  EXPECT_EQ(qt.values[1], tiny.qmin());
+
+  // Randomized extreme float/scale pairs: the result must always carry the
+  // input's sign and stay inside [qmin, qmax].
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 500; ++trial) {
+    QuantParams rp;
+    rp.scale = std::pow(10.0f, static_cast<float>(rng.uniform() * 60 - 30));
+    const float x = static_cast<float>(rng.normal()) *
+                    std::pow(10.0f, static_cast<float>(rng.uniform() * 60 - 30));
+    const auto qv = quantize(std::vector<float>{x}, rp);
+    EXPECT_GE(qv.values[0], rp.qmin());
+    EXPECT_LE(qv.values[0], rp.qmax());
+    if (std::abs(x / rp.scale) >= 1.0f) {
+      EXPECT_EQ(qv.values[0] > 0, x > 0)
+          << "x=" << x << " scale=" << rp.scale;
+    }
+  }
 }
 
 TEST(Quant, ZeroVectorGetsUnitScale) {

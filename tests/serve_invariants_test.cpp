@@ -220,6 +220,36 @@ void expect_metrics_identical(const FleetMetrics& a, const FleetMetrics& b) {
   }
 }
 
+void expect_runs_identical(const ServeEngine& a, const ServeEngine& b) {
+  expect_metrics_identical(a.metrics(), b.metrics());
+  ASSERT_EQ(a.requests().size(), b.requests().size());
+  for (std::size_t r = 0; r < a.requests().size(); ++r) {
+    const Request& ra = a.requests()[r];
+    const Request& rb = b.requests()[r];
+    EXPECT_EQ(ra.generated, rb.generated);
+    EXPECT_EQ(ra.admit_step, rb.admit_step);
+    EXPECT_EQ(ra.finish_step, rb.finish_step);
+    EXPECT_EQ(ra.first_token_step, rb.first_token_step);
+    EXPECT_EQ(ra.preemptions, rb.preemptions);
+    EXPECT_EQ(ra.dram_cycles, rb.dram_cycles);
+    EXPECT_EQ(ra.prefill_bits, rb.prefill_bits);
+    // Per-request token streams: every step's attention output and token
+    // sets must be bit-identical, not merely close.
+    ASSERT_EQ(ra.outputs.size(), rb.outputs.size()) << "request " << r;
+    for (std::size_t s = 0; s < ra.outputs.size(); ++s) {
+      const StepOutput& sa = ra.outputs[s];
+      const StepOutput& sb = rb.outputs[s];
+      EXPECT_EQ(sa.position, sb.position);
+      ASSERT_EQ(sa.out.size(), sb.out.size());
+      for (std::size_t i = 0; i < sa.out.size(); ++i) {
+        EXPECT_EQ(sa.out[i], sb.out[i]) << "request " << r << " step " << s;
+        EXPECT_EQ(sa.view_tokens[i], sb.view_tokens[i]);
+        EXPECT_EQ(sa.kept_tokens[i], sb.kept_tokens[i]);
+      }
+    }
+  }
+}
+
 ServeConfig determinism_config(PolicyKind policy) {
   ServeConfig config;
   config.n_layer = 1;
@@ -271,34 +301,80 @@ TEST(ServeEngineDeterminism, IdenticalConfigAndSeedGiveBitIdenticalRuns) {
     // for the determinism claim to mean anything.
     EXPECT_GT(a.metrics().preemptions, 0u);
 
-    expect_metrics_identical(a.metrics(), b.metrics());
+    expect_runs_identical(a, b);
+  }
+}
 
-    ASSERT_EQ(a.requests().size(), b.requests().size());
-    for (std::size_t r = 0; r < a.requests().size(); ++r) {
-      const Request& ra = a.requests()[r];
-      const Request& rb = b.requests()[r];
-      EXPECT_EQ(ra.generated, rb.generated);
-      EXPECT_EQ(ra.admit_step, rb.admit_step);
-      EXPECT_EQ(ra.finish_step, rb.finish_step);
-      EXPECT_EQ(ra.first_token_step, rb.first_token_step);
-      EXPECT_EQ(ra.preemptions, rb.preemptions);
-      EXPECT_EQ(ra.dram_cycles, rb.dram_cycles);
-      EXPECT_EQ(ra.prefill_bits, rb.prefill_bits);
-      // Per-request token streams: every step's attention output and token
-      // sets must be bit-identical, not merely close.
-      ASSERT_EQ(ra.outputs.size(), rb.outputs.size()) << "request " << r;
-      for (std::size_t s = 0; s < ra.outputs.size(); ++s) {
-        const StepOutput& sa = ra.outputs[s];
-        const StepOutput& sb = rb.outputs[s];
-        EXPECT_EQ(sa.position, sb.position);
-        ASSERT_EQ(sa.out.size(), sb.out.size());
-        for (std::size_t i = 0; i < sa.out.size(); ++i) {
-          EXPECT_EQ(sa.out[i], sb.out[i]) << "request " << r << " step " << s;
-          EXPECT_EQ(sa.view_tokens[i], sb.view_tokens[i]);
-          EXPECT_EQ(sa.kept_tokens[i], sb.kept_tokens[i]);
-        }
-      }
+// Threads never change bits: the engine's parallel attention phase fans
+// per-(slot, layer, head) work across workers, but outputs, FleetMetrics,
+// per-step traffic, and token sets must be bit-identical to the sequential
+// engine for every thread count and every scheduling policy — the PR 3
+// determinism suite re-run at threads ∈ {1, 2, 8} (acceptance criterion).
+TEST(ServeEngineDeterminism, ThreadFanOutIsBitIdenticalToSequential) {
+  wl::PriorityMixParams mix;
+  mix.arrivals.rate = 0.9;
+  for (auto& m : mix.mix) {
+    m.prompt_min = 4;
+    m.prompt_max = 24;
+    m.decode_min = 8;
+    m.decode_max = 24;
+  }
+
+  for (const PolicyKind policy :
+       {PolicyKind::fifo_youngest_first, PolicyKind::priority_slack,
+        PolicyKind::cost_aware_victim}) {
+    SCOPED_TRACE(policy_kind_name(policy));
+    Rng trace_rng(2026);
+    const auto trace = wl::make_priority_mix_trace(mix, 18, trace_rng);
+
+    const ServeConfig reference_config = determinism_config(policy);
+    ASSERT_EQ(reference_config.threads, 1u);
+    ServeEngine reference(reference_config);
+    reference.submit_trace(trace);
+    reference.run();
+    EXPECT_GT(reference.metrics().preemptions, 0u);
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(threads);
+      ServeConfig config = determinism_config(policy);
+      config.threads = threads;
+      ServeEngine fanned(config);
+      fanned.submit_trace(trace);
+      fanned.run();
+      expect_runs_identical(reference, fanned);
     }
+  }
+}
+
+// The SpAtten backend parallelizes at slot grain (its pruner cascades across
+// a slot's instances) — the thread-identity contract must hold there too.
+TEST(ServeEngineDeterminism, SpAttenThreadFanOutIsBitIdentical) {
+  wl::PriorityMixParams mix;
+  mix.arrivals.rate = 0.9;
+  for (auto& m : mix.mix) {
+    m.prompt_min = 4;
+    m.prompt_max = 24;
+    m.decode_min = 8;
+    m.decode_max = 24;
+  }
+  Rng trace_rng(2027);
+  const auto trace = wl::make_priority_mix_trace(mix, 14, trace_rng);
+
+  ServeConfig base = determinism_config(PolicyKind::fifo_youngest_first);
+  base.backend = BackendKind::spatten;
+  base.reclaim = false;  // SpAtten never reclaims pool storage
+  ServeEngine reference(base);
+  reference.submit_trace(trace);
+  reference.run();
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    ServeConfig config = base;
+    config.threads = threads;
+    ServeEngine fanned(config);
+    fanned.submit_trace(trace);
+    fanned.run();
+    expect_runs_identical(reference, fanned);
   }
 }
 

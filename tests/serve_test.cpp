@@ -53,6 +53,27 @@ TEST(PagedKvPool, DoubleFreeThrows) {
   EXPECT_THROW(pool.free_page(a), std::logic_error);
 }
 
+TEST(PagedKvPool, RejectsDegenerateConfigs) {
+  // A zero-page pool would make occupancy() divide by zero and silently
+  // poison FleetMetrics aggregates with NaN; the constructor must refuse it
+  // (and the other zero dimensions) up front.
+  EXPECT_THROW(PagedKvPool({0, 8, 4}), std::logic_error);
+  EXPECT_THROW(PagedKvPool({4, 0, 4}), std::logic_error);
+  EXPECT_THROW(PagedKvPool({4, 8, 0}), std::logic_error);
+}
+
+TEST(PagedKvPool, OccupancyIsFiniteAndTracksUse) {
+  PagedKvPool pool({2, 4, 2});
+  EXPECT_EQ(pool.occupancy(), 0.0);
+  const auto a = pool.alloc_page();
+  EXPECT_TRUE(std::isfinite(pool.occupancy()));
+  EXPECT_NEAR(pool.occupancy(), 0.5, 1e-12);
+  pool.alloc_page();
+  EXPECT_NEAR(pool.occupancy(), 1.0, 1e-12);
+  pool.free_page(a);
+  EXPECT_NEAR(pool.occupancy(), 0.5, 1e-12);
+}
+
 // ---- PagedSequence ----------------------------------------------------------
 
 std::vector<float> ramp(std::size_t dim, float base) {
