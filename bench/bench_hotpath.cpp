@@ -25,6 +25,7 @@
 // `--smoke` runs a small context for CI; `--threads a,b,c` overrides the
 // sweep (default 1,2,8). The default scenario is the 2k context the
 // acceptance criteria target.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -36,12 +37,18 @@
 
 #include "common/expsum.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "core/quantized_kv_cache.h"
 #include "core/token_picker.h"
 #include "fixedpoint/chunks.h"
 #include "fixedpoint/margin.h"
+#include "obs/phase_stats.h"
+#include "obs/trace.h"
+#include "obs/trace_validate.h"
 #include "serve/paged_kv_pool.h"
 #include "serve/paged_sequence.h"
+#include "serve/serve_engine.h"
+#include "workload/arrivals.h"
 #include "workload/decode_stream.h"
 
 using namespace topick;
@@ -364,15 +371,77 @@ RunResult run_cached(const Scenario& s, const wl::DecodeStream& stream,
   return result;
 }
 
+// Engine-backed phase attribution: where a full ServeEngine step spends host
+// time — per-worker attention compute vs barrier wait (the fork-join tax
+// ROADMAP item 3 targets) vs memsim replay vs the sequential phases. Runs a
+// small multi-request Poisson trace through the real engine with
+// collect_phase_stats on (and tracing, when --trace is given).
+obs::StepPhaseStats run_engine_phases(bool smoke, std::size_t threads,
+                                      const std::string& trace_path,
+                                      bool* trace_ok) {
+  serve::ServeConfig config;
+  config.n_layer = 2;
+  config.n_head = 2;
+  config.head_dim = 64;
+  config.max_batch = 8;
+  config.pool_pages = 4096;
+  config.page_tokens = 8;
+  config.backend = serve::BackendKind::token_picker;
+  config.picker.estimator.threshold = 1e-3;
+  config.prefill_chunk_tokens = 16;
+  config.threads = threads;
+  config.collect_phase_stats = true;
+  config.simulate_dram = true;
+
+  obs::TraceRecorder recorder;
+  if (!trace_path.empty()) config.trace = &recorder;
+
+  wl::ArrivalParams params;
+  params.rate = 0.6;
+  params.prompt_min = smoke ? 24 : 96;
+  params.prompt_max = smoke ? 64 : 256;
+  params.decode_min = smoke ? 8 : 32;
+  params.decode_max = smoke ? 24 : 96;
+  Rng rng(99);
+  const auto trace = wl::make_arrival_trace(params, smoke ? 8 : 16, rng);
+
+  serve::ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!recorder.write_chrome_json_file(trace_path, &error)) {
+      std::fprintf(stderr, "trace write failed: %s\n", error.c_str());
+      if (trace_ok != nullptr) *trace_ok = false;
+    } else {
+      const auto check = obs::validate_chrome_trace_file(trace_path);
+      if (!check.ok) {
+        std::fprintf(stderr, "trace validation failed: %s\n",
+                     check.error.c_str());
+      } else {
+        std::printf("  wrote %s: %zu events (%zu spans), %zu tracks\n",
+                    trace_path.c_str(), check.events, check.span_events,
+                    recorder.tracks());
+      }
+      if (trace_ok != nullptr) *trace_ok = check.ok;
+    }
+  }
+  return engine.phase_stats();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Scenario scenario;
   bool smoke = false;
+  std::string trace_path;
   std::vector<std::size_t> thread_sweep;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       // Comma-separated sweep, e.g. --threads 1,2,8.
       for (const char* p = argv[++i]; *p != '\0';) {
@@ -439,6 +508,30 @@ int main(int argc, char** argv) {
               thread_sweep[best], speedup,
               static_cast<unsigned long long>(cached[best].rescales));
 
+  // Full-engine phase attribution at the sweep's widest fan-out.
+  const std::size_t phase_threads =
+      *std::max_element(thread_sweep.begin(), thread_sweep.end());
+  bool trace_ok = true;
+  const obs::StepPhaseStats phases =
+      run_engine_phases(smoke, phase_threads, trace_path, &trace_ok);
+  if (!trace_ok) return 1;
+  const double att_capacity = static_cast<double>(phases.attention_busy_ns) +
+                              static_cast<double>(phases.barrier_wait_ns);
+  const double compute_frac =
+      att_capacity > 0.0
+          ? static_cast<double>(phases.attention_busy_ns) / att_capacity
+          : 0.0;
+  const double total_ns = static_cast<double>(phases.total_ns());
+  std::printf(
+      "  engine phase attribution (threads=%zu, %llu steps): "
+      "attention compute %.0f%% / barrier wait %.0f%% of fan-out capacity; "
+      "replay %.0f%% of step wall\n",
+      phase_threads, static_cast<unsigned long long>(phases.steps),
+      100.0 * compute_frac, 100.0 * (1.0 - compute_frac),
+      total_ns > 0.0
+          ? 100.0 * static_cast<double>(phases.replay_ns) / total_ns
+          : 0.0);
+
   FILE* out = std::fopen("BENCH_hotpath.json", "w");
   if (!out) {
     std::fprintf(stderr, "cannot open BENCH_hotpath.json for writing\n");
@@ -469,6 +562,25 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"speedup\": %.2f,\n", speedup);
   std::fprintf(out, "  \"whole_head_rescales\": %llu,\n",
                static_cast<unsigned long long>(cached[best].rescales));
+  std::fprintf(
+      out,
+      "  \"phase_attribution\": {\"threads\": %zu, \"steps\": %llu, "
+      "\"admit_ns\": %llu, \"append_ns\": %llu, \"attention_wall_ns\": %llu, "
+      "\"attention_busy_ns\": %llu, \"barrier_wait_ns\": %llu, "
+      "\"reduce_ns\": %llu, \"replay_ns\": %llu, \"other_ns\": %llu, "
+      "\"compute_frac_of_fanout\": %.4f, \"barrier_frac_of_fanout\": %.4f, "
+      "\"replay_frac_of_step\": %.4f},\n",
+      phase_threads, static_cast<unsigned long long>(phases.steps),
+      static_cast<unsigned long long>(phases.admit_ns),
+      static_cast<unsigned long long>(phases.append_ns),
+      static_cast<unsigned long long>(phases.attention_wall_ns),
+      static_cast<unsigned long long>(phases.attention_busy_ns),
+      static_cast<unsigned long long>(phases.barrier_wait_ns),
+      static_cast<unsigned long long>(phases.reduce_ns),
+      static_cast<unsigned long long>(phases.replay_ns),
+      static_cast<unsigned long long>(phases.other_ns), compute_frac,
+      1.0 - compute_frac,
+      total_ns > 0.0 ? static_cast<double>(phases.replay_ns) / total_ns : 0.0);
   std::fprintf(out, "  \"outputs_bit_identical\": true\n");
   std::fprintf(out, "}\n");
   std::fclose(out);

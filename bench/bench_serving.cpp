@@ -10,11 +10,16 @@
 // prefill bytes, pool peak/reclaim counters, and per-priority-class
 // latency/SLO-attainment breakdowns).
 #include <cstdio>
+#include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/trace.h"
+#include "obs/trace_validate.h"
+#include "serve/metrics_export.h"
 #include "serve/serve_engine.h"
 #include "workload/arrivals.h"
 
@@ -212,9 +217,55 @@ void emit_qos_rows(FILE* out, const std::vector<BenchRow>& rows) {
   }
 }
 
+// Traced rerun of the representative scenario (Token-Picker at the paper's
+// 1e-3 threshold, two worker threads so the per-worker attention tracks are
+// visible). Tracing never changes engine bits — the rerun's outputs match the
+// untraced row's, which tests/obs_test.cpp asserts engine-wide.
+int run_traced(const std::string& path,
+               const std::vector<wl::ArrivalEvent>& trace) {
+  serve::ServeConfig config =
+      bench_config(serve::BackendKind::token_picker, 1e-3, true, 16);
+  config.threads = 2;
+  config.collect_phase_stats = true;
+  obs::TraceRecorder recorder;
+  config.trace = &recorder;
+  serve::ServeEngine engine(config);
+  engine.submit_trace(trace);
+  engine.run();
+
+  std::string error;
+  if (!recorder.write_chrome_json_file(path, &error)) {
+    std::fprintf(stderr, "trace write failed: %s\n", error.c_str());
+    return 1;
+  }
+  const obs::TraceValidation check = obs::validate_chrome_trace_file(path);
+  if (!check.ok) {
+    std::fprintf(stderr, "trace validation failed: %s\n", check.error.c_str());
+    return 1;
+  }
+  const auto& ps = engine.phase_stats();
+  std::printf(
+      "wrote %s: %zu events (%zu spans) across %zu tracks; "
+      "phase attribution over %llu steps: attention busy %.1f ms, "
+      "barrier wait %.1f ms, replay %.1f ms\n",
+      path.c_str(), check.events, check.span_events, recorder.tracks(),
+      static_cast<unsigned long long>(ps.steps),
+      static_cast<double>(ps.attention_busy_ns) / 1e6,
+      static_cast<double>(ps.barrier_wait_ns) / 1e6,
+      static_cast<double>(ps.replay_ns) / 1e6);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+
   wl::ArrivalParams params;
   params.rate = 0.8;
   params.prompt_min = 16;
@@ -330,8 +381,21 @@ int main() {
                "0.5, \"burst_factor\": 6, \"requests\": 40, \"max_batch\": 10, "
                "\"pool_pages\": 384, \"aging_steps\": 96, \"results\": [\n");
   emit_qos_rows(out, qos_rows);
-  std::fprintf(out, "  ]}\n}\n");
+  std::fprintf(out, "  ]},\n");
+  // One-snapshot registry view of the representative run: serve-level
+  // counters/gauges, the streaming latency histograms, the decode-traffic
+  // AccessStats (chunk-fetch histogram included), and per-class slices.
+  {
+    obs::MetricsRegistry registry;
+    serve::export_fleet_metrics(rows[2].metrics, &registry);
+    std::ostringstream snapshot;
+    registry.write_json(snapshot, 2);
+    std::fprintf(out, "  \"metrics_snapshot\": %s\n}\n",
+                 snapshot.str().c_str());
+  }
   std::fclose(out);
   std::printf("wrote BENCH_serving.json\n");
+
+  if (!trace_path.empty()) return run_traced(trace_path, trace);
   return 0;
 }

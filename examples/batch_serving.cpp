@@ -13,12 +13,15 @@
 // printed is kept at the end as an analytic cross-check: the measured KV
 // reduction from the simulated fleet feeds the same step-speedup estimate.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "analytic/traffic.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/token_picker.h"
+#include "obs/trace.h"
+#include "obs/trace_validate.h"
 #include "serve/serve_engine.h"
 #include "workload/arrivals.h"
 #include "workload/generator.h"
@@ -74,7 +77,17 @@ RunResult run_fleet(serve::BackendKind backend, bool reclaim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace out.json: rerun the ToPick+reclaim fleet with the observability
+  // layer on and export a Perfetto-loadable engine trace. Tracing never
+  // changes engine bits, so the traced rerun reports the same fleet metrics.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+
   const auto trace = bursty_trace(48);
   std::printf(
       "Continuous-batching fleet: 48 requests, bursty arrivals, "
@@ -111,6 +124,34 @@ int main() {
   add("ToPick thr 1e-3", topick_noreclaim);
   add("ToPick + reclaim", topick);
   std::printf("%s\n", table.render().c_str());
+
+  if (!trace_path.empty()) {
+    serve::ServeConfig config = base_config();
+    config.backend = serve::BackendKind::token_picker;
+    config.reclaim = true;
+    config.threads = 2;  // separate worker tracks in the trace
+    config.collect_phase_stats = true;
+    obs::TraceRecorder recorder;
+    config.trace = &recorder;
+    serve::ServeEngine engine(config);
+    engine.submit_trace(trace);
+    engine.run();
+    std::string error;
+    if (!recorder.write_chrome_json_file(trace_path, &error)) {
+      std::fprintf(stderr, "trace write failed: %s\n", error.c_str());
+      return 1;
+    }
+    const auto check = obs::validate_chrome_trace_file(trace_path);
+    if (!check.ok) {
+      std::fprintf(stderr, "trace validation failed: %s\n",
+                   check.error.c_str());
+      return 1;
+    }
+    std::printf(
+        "Wrote %s (%zu events, %zu spans) — load it at https://ui.perfetto.dev "
+        "or chrome://tracing.\n\n",
+        trace_path.c_str(), check.events, check.span_events);
+  }
 
   // QoS scheduling: the same mixed-priority offered load under each policy.
   // Interactive requests carry tight engine-step SLOs; batch brings the long

@@ -69,6 +69,22 @@ std::string Histogram::ascii(std::size_t max_width) const {
   return out.str();
 }
 
+double PercentileCache::at(const std::vector<double>& samples,
+                           double p) const {
+  if (samples.empty()) return 0.0;
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100]");
+  if (samples.size() != seen_) {
+    sorted_ = samples;
+    std::sort(sorted_.begin(), sorted_.end());
+    seen_ = samples.size();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
 double percentile(std::vector<double> samples, double p) {
   require(!samples.empty(), "percentile: empty sample set");
   require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100]");

@@ -47,6 +47,12 @@ class Hbm {
   double energy_pj() const;          // from the aggregated stats
   const DramConfig& config() const { return config_; }
 
+  // Per-channel visibility for the observability layer: channel occupancy
+  // counters (queued + in-flight transactions) and per-channel DramStats go
+  // into cycle-domain trace tracks and the metrics snapshot.
+  std::size_t channel_count() const { return channels_.size(); }
+  const Channel& channel(std::size_t c) const { return channels_[c]; }
+
   // Transaction tracing (off by default; costs memory proportional to the
   // request count). Entries appear in command-commit order per channel.
   void enable_trace(bool on) { trace_enabled_ = on; }

@@ -1,0 +1,319 @@
+#include "obs/trace_validate.h"
+
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace topick::obs {
+
+namespace {
+
+// Minimal recursive-descent JSON value — just enough structure to walk the
+// trace schema. Numbers are kept as doubles; object keys are unique-last.
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool b = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    if (!value(out)) {
+      *error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters after JSON value at byte " +
+               std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out->kind = JsonValue::Kind::string;
+        return string(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::boolean;
+        out->b = true;
+        return literal("true", 4);
+      case 'f':
+        out->kind = JsonValue::Kind::boolean;
+        out->b = false;
+        return literal("false", 5);
+      case 'n':
+        out->kind = JsonValue::Kind::null;
+        return literal("null", 4);
+      default: return number(out);
+    }
+  }
+
+  bool string(std::string* out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("bad escape");
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return fail("bad \\u escape");
+            for (int i = 2; i < 6; ++i) {
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + i]))) {
+                return fail("bad \\u escape");
+              }
+            }
+            out->push_back('?');  // code point fidelity not needed here
+            pos_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    out->kind = JsonValue::Kind::number;
+    return true;
+  }
+
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      out->items.emplace_back();
+      if (!value(&out->items.back())) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->fields[key] = std::move(v);
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool require_key(const JsonValue& event, const char* key,
+                 JsonValue::Kind kind, std::size_t index,
+                 TraceValidation* result) {
+  const JsonValue* v = event.get(key);
+  if (v == nullptr || v->kind != kind) {
+    result->error = "traceEvents[" + std::to_string(index) +
+                    "]: missing or mistyped required key \"" + key + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceValidation validate_chrome_trace(const std::string& json) {
+  TraceValidation result;
+  JsonValue root;
+  Parser parser(json);
+  if (!parser.parse(&root, &result.error)) return result;
+
+  // Accept both container forms: {"traceEvents": [...]} and a bare array.
+  const JsonValue* events = nullptr;
+  if (root.kind == JsonValue::Kind::object) {
+    events = root.get("traceEvents");
+    if (events == nullptr || events->kind != JsonValue::Kind::array) {
+      result.error = "top-level object lacks a \"traceEvents\" array";
+      return result;
+    }
+  } else if (root.kind == JsonValue::Kind::array) {
+    events = &root;
+  } else {
+    result.error = "trace root must be an object or an array";
+    return result;
+  }
+
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& e = events->items[i];
+    if (e.kind != JsonValue::Kind::object) {
+      result.error = "traceEvents[" + std::to_string(i) + "] is not an object";
+      return result;
+    }
+    if (!require_key(e, "name", JsonValue::Kind::string, i, &result) ||
+        !require_key(e, "ph", JsonValue::Kind::string, i, &result) ||
+        !require_key(e, "pid", JsonValue::Kind::number, i, &result)) {
+      return result;
+    }
+    const std::string& ph = e.get("ph")->str;
+    if (ph.size() != 1) {
+      result.error = "traceEvents[" + std::to_string(i) +
+                     "]: \"ph\" must be a single character";
+      return result;
+    }
+    if (ph == "M") continue;  // metadata events carry only name/pid/args
+    if (!require_key(e, "tid", JsonValue::Kind::number, i, &result) ||
+        !require_key(e, "ts", JsonValue::Kind::number, i, &result)) {
+      return result;
+    }
+    if (ph == "X") {
+      if (!require_key(e, "dur", JsonValue::Kind::number, i, &result)) {
+        return result;
+      }
+      ++result.span_events;
+    }
+    if ((ph == "b" || ph == "e" || ph == "n") &&
+        !require_key(e, "id", JsonValue::Kind::number, i, &result)) {
+      return result;
+    }
+    ++result.events;
+  }
+  if (result.events == 0) {
+    result.error = "trace holds no events";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+TraceValidation validate_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    TraceValidation result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return validate_chrome_trace(text.str());
+}
+
+}  // namespace topick::obs

@@ -1,0 +1,26 @@
+// Chrome trace-event JSON validation: a dependency-free JSON syntax checker
+// plus the schema/required-keys rules Perfetto's legacy JSON importer needs
+// ("traceEvents" array; every event has name/ph/pid/tid/ts; 'X' events have
+// dur; async events have id). Used by the obs tests, by the benches right
+// after writing a --trace file (fail fast instead of shipping a broken
+// artifact), and by the CI trace-validation step.
+#pragma once
+
+#include <string>
+
+namespace topick::obs {
+
+struct TraceValidation {
+  bool ok = false;
+  std::size_t events = 0;        // traceEvents entries
+  std::size_t span_events = 0;   // ph == "X"
+  std::string error;             // empty when ok
+};
+
+// Validates `json` as a Chrome trace. Never throws.
+TraceValidation validate_chrome_trace(const std::string& json);
+
+// Reads `path` and validates its contents.
+TraceValidation validate_chrome_trace_file(const std::string& path);
+
+}  // namespace topick::obs

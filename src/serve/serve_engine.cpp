@@ -1,6 +1,7 @@
 #include "serve/serve_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/require.h"
@@ -12,8 +13,22 @@ namespace topick::serve {
 
 namespace {
 
-double percentile_or_zero(const std::vector<double>& samples, double p) {
-  return samples.empty() ? 0.0 : percentile(samples, p);
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+// Quantile with the sample vector as the exact source of truth and the
+// streaming histogram as the bounded-memory fallback (vectors stay empty when
+// retain_latency_samples is off). The cache makes repeated report reads
+// sort-free (see PercentileCache).
+double quantile_of(const std::vector<double>& samples,
+                   const PercentileCache& cache,
+                   const obs::LogHistogram& hist, double p) {
+  if (!samples.empty()) return cache.at(samples, p);
+  return hist.quantile(p);  // 0.0 when empty
 }
 
 }  // namespace
@@ -56,20 +71,41 @@ struct ServeEngine::Slot {
   std::unique_ptr<SpAttenBackend> spatten;
 };
 
-double ClassMetrics::p50_ttft_cycles() const {
-  return percentile_or_zero(ttft_cycle_samples, 50.0);
+void ClassMetrics::record_ttft(double cycles, bool retain_samples) {
+  if (retain_samples) ttft_cycle_samples.push_back(cycles);
+  ttft_cycle_hist.add(cycles);
 }
-double ClassMetrics::p99_ttft_cycles() const {
-  return percentile_or_zero(ttft_cycle_samples, 99.0);
+void ClassMetrics::record_latency(double cycles, bool retain_samples) {
+  if (retain_samples) latency_cycle_samples.push_back(cycles);
+  latency_cycle_hist.add(cycles);
 }
+void ClassMetrics::record_queue_wait(double steps, bool retain_samples) {
+  if (retain_samples) queue_wait_step_samples.push_back(steps);
+  queue_wait_hist.add(steps);
+}
+
+double ClassMetrics::ttft_quantile(double p) const {
+  return quantile_of(ttft_cycle_samples, ttft_cache_, ttft_cycle_hist, p);
+}
+double ClassMetrics::latency_quantile(double p) const {
+  return quantile_of(latency_cycle_samples, latency_cache_,
+                     latency_cycle_hist, p);
+}
+double ClassMetrics::p50_ttft_cycles() const { return ttft_quantile(50.0); }
+double ClassMetrics::p99_ttft_cycles() const { return ttft_quantile(99.0); }
 double ClassMetrics::p50_latency_cycles() const {
-  return percentile_or_zero(latency_cycle_samples, 50.0);
+  return latency_quantile(50.0);
 }
 double ClassMetrics::p99_latency_cycles() const {
-  return percentile_or_zero(latency_cycle_samples, 99.0);
+  return latency_quantile(99.0);
 }
 
 double ClassMetrics::avg_queue_wait_steps() const {
+  // The histogram's count/sum are exact (only the buckets are approximate)
+  // and accumulate in the same order the vector appends, so this mean is
+  // bit-identical to the historical sum-the-vector report in retained mode
+  // and still available in bounded-memory mode.
+  if (queue_wait_hist.count() > 0) return queue_wait_hist.mean();
   if (queue_wait_step_samples.empty()) return 0.0;
   double sum = 0.0;
   for (const double s : queue_wait_step_samples) sum += s;
@@ -88,35 +124,51 @@ double ClassMetrics::slo_latency_attainment() const {
                    static_cast<double>(slo_latency_tracked);
 }
 
-double FleetMetrics::p50_step_cycles() const {
-  return percentile_or_zero(step_cycle_samples, 50.0);
+void FleetMetrics::record_step_cycles(double cycles, bool retain_samples) {
+  if (retain_samples) step_cycle_samples.push_back(cycles);
+  step_cycle_hist.add(cycles);
 }
-double FleetMetrics::p95_step_cycles() const {
-  return percentile_or_zero(step_cycle_samples, 95.0);
+void FleetMetrics::record_ttft(double cycles, bool retain_samples) {
+  if (retain_samples) ttft_cycle_samples.push_back(cycles);
+  ttft_cycle_hist.add(cycles);
 }
-double FleetMetrics::p99_step_cycles() const {
-  return percentile_or_zero(step_cycle_samples, 99.0);
+void FleetMetrics::record_request_latency(double cycles, bool retain_samples) {
+  if (retain_samples) request_latency_cycle_samples.push_back(cycles);
+  request_latency_hist.add(cycles);
 }
-double FleetMetrics::p50_ttft_cycles() const {
-  return percentile_or_zero(ttft_cycle_samples, 50.0);
+void FleetMetrics::record_queue_wait(double steps, bool retain_samples) {
+  if (retain_samples) queue_wait_step_samples.push_back(steps);
+  queue_wait_hist.add(steps);
 }
-double FleetMetrics::p95_ttft_cycles() const {
-  return percentile_or_zero(ttft_cycle_samples, 95.0);
+
+double FleetMetrics::step_quantile(double p) const {
+  return quantile_of(step_cycle_samples, step_cache_, step_cycle_hist, p);
 }
-double FleetMetrics::p99_ttft_cycles() const {
-  return percentile_or_zero(ttft_cycle_samples, 99.0);
+double FleetMetrics::ttft_quantile(double p) const {
+  return quantile_of(ttft_cycle_samples, ttft_cache_, ttft_cycle_hist, p);
 }
+double FleetMetrics::latency_quantile(double p) const {
+  return quantile_of(request_latency_cycle_samples, latency_cache_,
+                     request_latency_hist, p);
+}
+double FleetMetrics::p50_step_cycles() const { return step_quantile(50.0); }
+double FleetMetrics::p95_step_cycles() const { return step_quantile(95.0); }
+double FleetMetrics::p99_step_cycles() const { return step_quantile(99.0); }
+double FleetMetrics::p50_ttft_cycles() const { return ttft_quantile(50.0); }
+double FleetMetrics::p95_ttft_cycles() const { return ttft_quantile(95.0); }
+double FleetMetrics::p99_ttft_cycles() const { return ttft_quantile(99.0); }
 double FleetMetrics::p50_request_latency_cycles() const {
-  return percentile_or_zero(request_latency_cycle_samples, 50.0);
+  return latency_quantile(50.0);
 }
 double FleetMetrics::p95_request_latency_cycles() const {
-  return percentile_or_zero(request_latency_cycle_samples, 95.0);
+  return latency_quantile(95.0);
 }
 double FleetMetrics::p99_request_latency_cycles() const {
-  return percentile_or_zero(request_latency_cycle_samples, 99.0);
+  return latency_quantile(99.0);
 }
 
 double FleetMetrics::avg_queue_wait_steps() const {
+  if (queue_wait_hist.count() > 0) return queue_wait_hist.mean();
   if (queue_wait_step_samples.empty()) return 0.0;
   double sum = 0.0;
   for (const double s : queue_wait_step_samples) sum += s;
@@ -159,6 +211,11 @@ ServeEngine::ServeEngine(const ServeConfig& config)
   for (std::size_t w = 0; w < workers_.threads(); ++w) {
     workspaces_.push_back(std::make_unique<Workspace>(config_.picker));
   }
+  // Observability taps: one trace track per worker thread (lock-free
+  // recording in the parallel phase) plus per-worker busy counters.
+  trace_ = config_.trace;
+  if (trace_ != nullptr) trace_->ensure_tracks(workers_.threads());
+  worker_busy_.resize(workers_.threads());
 }
 
 ServeEngine::~ServeEngine() = default;
@@ -207,11 +264,58 @@ std::size_t ServeEngine::pages_for_prefill(const Request& request) const {
          config_.n_head;
 }
 
+// Request-lifecycle async events (pid "requests", one async id per request).
+// All emitted from the sequential phases on track 0 — the parallel phase
+// never touches lifecycle state.
+void ServeEngine::trace_lifecycle_begin(std::size_t request,
+                                        const char* state) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent e;
+  e.name = state;
+  e.cat = "request";
+  e.phase = 'b';
+  e.domain = obs::TraceDomain::request;
+  e.ts = trace_->now_ns();
+  e.id = request;
+  e.cycle = hbm_.cycle();
+  e.arg("step", static_cast<double>(now_));
+  trace_->record(0, e);
+}
+
+void ServeEngine::trace_lifecycle_end(std::size_t request, const char* state) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent e;
+  e.name = state;
+  e.cat = "request";
+  e.phase = 'e';
+  e.domain = obs::TraceDomain::request;
+  e.ts = trace_->now_ns();
+  e.id = request;
+  e.cycle = hbm_.cycle();
+  trace_->record(0, e);
+}
+
+void ServeEngine::trace_lifecycle_instant(std::size_t request,
+                                          const char* name) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent e;
+  e.name = name;
+  e.cat = "request";
+  e.phase = 'n';
+  e.domain = obs::TraceDomain::request;
+  e.ts = trace_->now_ns();
+  e.id = request;
+  e.cycle = hbm_.cycle();
+  e.arg("step", static_cast<double>(now_));
+  trace_->record(0, e);
+}
+
 void ServeEngine::admit_due_requests() {
   while (next_arrival_ < requests_.size() &&
          requests_[next_arrival_].event.step <= now_) {
     Request& req = requests_[next_arrival_];
     req.arrival_cycle = hbm_.cycle();
+    trace_lifecycle_begin(next_arrival_, "request");
     if (req.event.decode_len == 0) {
       // Nothing to generate: retire at arrival without taking a slot, pool
       // pages, or a spurious decode step's DRAM traffic.
@@ -233,9 +337,11 @@ void ServeEngine::admit_due_requests() {
         ++cls.slo_latency_tracked;
         ++cls.slo_latency_met;
       }
+      trace_lifecycle_end(next_arrival_, "request");  // zero-decode: retired
     } else {
       req.enqueue_step = req.event.step;  // queued-stint clock starts
       batcher_.queue().push_arrival(next_arrival_);
+      trace_lifecycle_begin(next_arrival_, "queued");
     }
     ++next_arrival_;
   }
@@ -318,10 +424,10 @@ void ServeEngine::begin_prefill(std::size_t request) {
   }
   if (req.state == RequestState::queued) {
     req.admit_step = now_;
-    metrics_.queue_wait_step_samples.push_back(
-        static_cast<double>(req.queue_wait_steps()));
-    class_metrics(req).queue_wait_step_samples.push_back(
-        static_cast<double>(req.queue_wait_steps()));
+    const auto wait = static_cast<double>(req.queue_wait_steps());
+    metrics_.record_queue_wait(wait, config_.retain_latency_samples);
+    class_metrics(req).record_queue_wait(wait,
+                                         config_.retain_latency_samples);
   }
   // Preempted requests recompute: prompt plus every already-generated token
   // re-enters the pool chunk by chunk (their K/V replay bit-identically from
@@ -331,6 +437,10 @@ void ServeEngine::begin_prefill(std::size_t request) {
   req.state = req.prefill_target == 0 ? RequestState::running
                                       : RequestState::prefilling;
   slots_[request] = std::move(slot);
+  trace_lifecycle_end(request, "queued");
+  trace_lifecycle_begin(request, req.state == RequestState::prefilling
+                                     ? "prefill"
+                                     : "decode");
 }
 
 bool ServeEngine::append_prefill_chunk(std::size_t request) {
@@ -365,6 +475,8 @@ bool ServeEngine::append_prefill_chunk(std::size_t request) {
   if (req.prefilled == req.prefill_target) {
     req.state = RequestState::running;  // first decode next step
     batcher_.begin_decode(request);
+    trace_lifecycle_end(request, "prefill");
+    trace_lifecycle_begin(request, "decode");
   }
   return true;
 }
@@ -385,6 +497,14 @@ void ServeEngine::cancel_step_work(std::size_t request) {
 
 void ServeEngine::do_preempt(std::size_t request) {
   Request& req = requests_[request];
+  // Close the active state span before the state flips; prefilling requests
+  // that completed their last chunk earlier this same step are already in
+  // the "decode" state span.
+  trace_lifecycle_end(request, req.state == RequestState::prefilling
+                                   ? "prefill"
+                                   : "decode");
+  trace_lifecycle_instant(request, "preempt");
+  trace_lifecycle_begin(request, "queued");
   slots_[request]->cache.release_all();
   slots_[request].reset();
   cancel_step_work(request);
@@ -483,6 +603,14 @@ void ServeEngine::run_decode_instance(std::size_t pending, std::size_t inst,
   const int head = static_cast<int>(inst) % config_.n_head;
   auto& qcache = slot.qcaches[inst];
 
+  // Per-unit span on the worker's own track (lock-free recording). Args are
+  // stamped at destruction, after the backend ran, so `kept` is available.
+  obs::TraceSpan span(trace_, worker, "unit:attend", "attention");
+  span.arg("request", static_cast<double>(work.request));
+  span.arg("layer", static_cast<double>(layer));
+  span.arg("head", static_cast<double>(head));
+  span.arg("pos", static_cast<double>(work.pos));
+
   // Quantize the new token once; earlier tokens stay quantized (the cache
   // rescales the head only when the live max|x| changes).
   qcache.append(req.stream.key(layer, head, work.pos),
@@ -540,12 +668,20 @@ void ServeEngine::run_decode_instance(std::size_t pending, std::size_t inst,
       break;
     }
   }
+  span.arg("context", static_cast<double>(qcache.len()));
+  span.arg("kept", static_cast<double>(res.stats.tokens_kept));
 }
 
 void ServeEngine::run_unit(const ParallelUnit& unit, std::size_t worker) {
   const PendingWork& work = pending_[unit.pending];
   const auto n_inst = static_cast<std::size_t>(config_.n_layer) *
                       config_.n_head;
+  // Per-worker busy time: the gap between summed busy and fan-out wall time
+  // is the barrier wait attributed in phase_stats(). Plain write — each
+  // worker owns its (cache-line-isolated) counter.
+  const bool timed = config_.collect_phase_stats;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   if (!work.decode) {
     // Prefill: quantize this instance's chunk via the bulk path (at most one
     // rescale for the whole chunk). Instances touch disjoint caches.
@@ -555,23 +691,31 @@ void ServeEngine::run_unit(const ParallelUnit& unit, std::size_t worker) {
     const auto inst = static_cast<std::size_t>(unit.inst);
     const int layer = unit.inst / config_.n_head;
     const int head = unit.inst % config_.n_head;
+    obs::TraceSpan span(trace_, worker, "unit:prefill_quant", "attention");
+    span.arg("request", static_cast<double>(work.request));
+    span.arg("layer", static_cast<double>(layer));
+    span.arg("head", static_cast<double>(head));
+    span.arg("tokens", static_cast<double>(work.chunk));
     const auto& hs = req.stream.head(layer, head);
     slot.qcaches[inst].append_rows(
         hs.keys.data() + work.prefilled_before * dim,
         hs.values.data() + work.prefilled_before * dim, work.chunk,
         work.prefilled_before);
-    return;
-  }
-  if (unit.inst >= 0) {
+  } else if (unit.inst >= 0) {
     run_decode_instance(unit.pending, static_cast<std::size_t>(unit.inst),
                         worker);
   } else {
     // SpAtten slot grain: the pruner's importance cascade couples the slot's
-    // instances, so they run sequentially inside one unit.
+    // instances, so they run sequentially inside one unit (the instance
+    // spans nest under this slot span on the worker's track).
+    obs::TraceSpan span(trace_, worker, "unit:slot", "attention");
+    span.arg("request", static_cast<double>(work.request));
+    span.arg("instances", static_cast<double>(n_inst));
     for (std::size_t inst = 0; inst < n_inst; ++inst) {
       run_decode_instance(unit.pending, inst, worker);
     }
   }
+  if (timed) worker_busy_[worker].ns += elapsed_ns(t0);
 }
 
 void ServeEngine::reduce_pending(std::size_t pending) {
@@ -586,6 +730,22 @@ void ServeEngine::reduce_pending(std::size_t pending) {
     metrics_.prefill_tokens += work.chunk;
     step_bits_[work.request] = bits;
     active_.push_back(StepXfer{work.request, /*decode=*/false});
+    // Emitted here — not at append time — so chunks cancelled by same-step
+    // preemption never appear: the trace invariant "sum of prefill_chunk
+    // token args == metrics.prefill_tokens" holds exactly.
+    if (trace_ != nullptr) {
+      obs::TraceEvent e;
+      e.name = "prefill_chunk";
+      e.cat = "request";
+      e.phase = 'n';
+      e.domain = obs::TraceDomain::request;
+      e.ts = trace_->now_ns();
+      e.id = work.request;
+      e.cycle = hbm_.cycle();
+      e.arg("tokens", static_cast<double>(work.chunk));
+      e.arg("cursor", static_cast<double>(work.prefilled_before));
+      trace_->record(0, e);
+    }
     return;
   }
 
@@ -672,6 +832,8 @@ void ServeEngine::reduce_pending(std::size_t pending) {
 
 void ServeEngine::retire(std::size_t request) {
   Request& req = requests_[request];
+  trace_lifecycle_end(request, "decode");
+  trace_lifecycle_end(request, "request");
   slots_[request]->cache.release_all();
   slots_[request].reset();
   req.state = RequestState::finished;
@@ -704,6 +866,14 @@ void ServeEngine::simulate_step_dram(
     remaining[i] = (bytes + granule - 1) / granule;
     total_remaining += remaining[i];
   }
+  const std::uint64_t total_granules = total_remaining;
+
+  // Per-channel occupancy sampling cadence (cycle-domain counter tracks). A
+  // replay window is typically a few thousand cycles; 64-cycle sampling keeps
+  // the queue/in-flight shape visible without bloating the trace.
+  constexpr std::uint64_t kChannelSampleCycles = 64;
+  static constexpr const char* kChannelKeys[8] = {"ch0", "ch1", "ch2", "ch3",
+                                                  "ch4", "ch5", "ch6", "ch7"};
 
   while (total_remaining > 0 || hbm_.pending() > 0) {
     for (std::size_t i = 0; i < active.size(); ++i) {
@@ -727,6 +897,24 @@ void ServeEngine::simulate_step_dram(
     for (const auto& resp : hbm_.drain_responses()) {
       finish[resp.id] = std::max(finish[resp.id], resp.ready_cycle);
     }
+    if (trace_ != nullptr &&
+        (hbm_.cycle() - start) % kChannelSampleCycles == 1) {
+      // Sampled at cycle 1 of the window (so even short replays get one
+      // loaded-state sample) and every kChannelSampleCycles after.
+      obs::TraceEvent e;
+      e.name = "channel_pending";
+      e.cat = "memsim";
+      e.phase = 'C';
+      e.domain = obs::TraceDomain::memsim;
+      e.ts = hbm_.cycle();
+      const std::size_t n_ch =
+          std::min<std::size_t>(hbm_.channel_count(),
+                                obs::TraceEvent::kMaxArgs);
+      for (std::size_t c = 0; c < n_ch; ++c) {
+        e.arg(kChannelKeys[c], static_cast<double>(hbm_.channel(c).pending()));
+      }
+      trace_->record(0, e);
+    }
   }
 
   for (std::size_t i = 0; i < active.size(); ++i) {
@@ -736,32 +924,65 @@ void ServeEngine::simulate_step_dram(
     // masquerade as token latencies — but they DO stretch the co-scheduled
     // decodes' samples through bus/bank contention above.
     if (active[i].decode) {
-      metrics_.step_cycle_samples.push_back(static_cast<double>(cycles));
+      metrics_.record_step_cycles(static_cast<double>(cycles),
+                                  config_.retain_latency_samples);
     }
   }
   metrics_.dram_cycles = hbm_.cycle();
+
+  // Cycle-domain replay window (pid "memsim"): ts/dur are DRAM cycles.
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.name = "replay";
+    e.cat = "memsim";
+    e.phase = 'X';
+    e.domain = obs::TraceDomain::memsim;
+    e.ts = start;
+    e.dur = hbm_.cycle() - start;
+    e.arg("transfers", static_cast<double>(active.size()));
+    e.arg("granules", static_cast<double>(total_granules));
+    trace_->record(0, e);
+  }
 }
 
 bool ServeEngine::step() {
   if (finished_ >= requests_.size()) return false;
 
-  admit_due_requests();
+  // Phase attribution and tracing are read-only taps around the existing
+  // phase structure: PhaseTimer/TraceSpan only read the steady clock, so the
+  // step's work is bit-identical with them on or off.
+  const bool phases = config_.collect_phase_stats;
+  if (phases) ++phase_stats_.steps;
+  obs::TraceSpan step_span(trace_, 0, "step", "engine");
+  step_span.arg("step", static_cast<double>(now_));
+  step_span.cycle(hbm_.cycle());
+
+  {
+    obs::PhaseTimer timer(phases ? &phase_stats_.admit_ns : nullptr);
+    obs::TraceSpan span(trace_, 0, "admit", "engine");
+    admit_due_requests();
+  }
 
   // Append phase — sequential, in admission-snapshot order: pool pressure,
   // preemption, and paged K/V appends. Walk a snapshot: preemption mutates
   // the running list mid-loop (and cancels a victim's recorded PendingWork).
-  const std::vector<std::size_t> schedule = batcher_.running();
-  pending_.clear();
-  step_bits_.assign(requests_.size(), 0);
-  active_.clear();
-  for (const std::size_t request : schedule) {
-    // A false return = the request self-preempted inside the call (the
-    // policy shielded every running request): nothing appended, no traffic.
-    if (requests_[request].state == RequestState::prefilling) {
-      append_prefill_chunk(request);
-    } else if (requests_[request].state == RequestState::running) {
-      append_decode_token(request);
+  {
+    obs::PhaseTimer timer(phases ? &phase_stats_.append_ns : nullptr);
+    obs::TraceSpan span(trace_, 0, "append", "engine");
+    const std::vector<std::size_t> schedule = batcher_.running();
+    pending_.clear();
+    step_bits_.assign(requests_.size(), 0);
+    active_.clear();
+    for (const std::size_t request : schedule) {
+      // A false return = the request self-preempted inside the call (the
+      // policy shielded every running request): nothing appended, no traffic.
+      if (requests_[request].state == RequestState::prefilling) {
+        append_prefill_chunk(request);
+      } else if (requests_[request].state == RequestState::running) {
+        append_decode_token(request);
+      }
     }
+    span.arg("pending", static_cast<double>(pending_.size()));
   }
 
   // Attention phase — parallel over (slot, instance) units; workers write
@@ -782,20 +1003,51 @@ bool ServeEngine::step() {
       }
     }
   }
-  workers_.parallel_for(units_.size(),
-                        [this](std::size_t unit, std::size_t worker) {
-                          run_unit(units_[unit], worker);
-                        });
+  {
+    obs::TraceSpan span(trace_, 0, "attention", "engine");
+    span.arg("units", static_cast<double>(units_.size()));
+    std::chrono::steady_clock::time_point t0;
+    if (phases) {
+      for (auto& wb : worker_busy_) wb.ns = 0;
+      t0 = std::chrono::steady_clock::now();
+    }
+    workers_.parallel_for(units_.size(),
+                          [this](std::size_t unit, std::size_t worker) {
+                            run_unit(units_[unit], worker);
+                          });
+    if (phases) {
+      const std::uint64_t wall = elapsed_ns(t0);
+      std::uint64_t busy = 0;
+      for (const auto& wb : worker_busy_) busy += wb.ns;
+      // Barrier wait: the fork-join step holds every worker until the
+      // slowest unit chain finishes — threads x wall minus summed busy is
+      // the idle time ROADMAP item 3 wants to reclaim.
+      const std::uint64_t capacity = wall * workers_.threads();
+      phase_stats_.attention_wall_ns += wall;
+      phase_stats_.attention_busy_ns += busy;
+      phase_stats_.barrier_wait_ns += capacity > busy ? capacity - busy : 0;
+    }
+  }
 
   // Reduction phase — sequential, in the append phase's slot order:
   // persistence + reclamation, AccessStats merge, output capture, step
   // traffic, retirement.
-  for (std::size_t p = 0; p < pending_.size(); ++p) reduce_pending(p);
+  {
+    obs::PhaseTimer timer(phases ? &phase_stats_.reduce_ns : nullptr);
+    obs::TraceSpan span(trace_, 0, "reduce", "engine");
+    for (std::size_t p = 0; p < pending_.size(); ++p) reduce_pending(p);
+  }
 
   if (config_.simulate_dram && !active_.empty()) {
+    obs::PhaseTimer timer(phases ? &phase_stats_.replay_ns : nullptr);
+    obs::TraceSpan span(trace_, 0, "dram_replay", "engine");
+    span.cycle(hbm_.cycle());
+    span.arg("transfers", static_cast<double>(active_.size()));
     simulate_step_dram(step_bits_, active_);
   }
 
+  {
+  obs::PhaseTimer other_timer(phases ? &phase_stats_.other_ns : nullptr);
   // Request-level latency checkpoints, stamped after the step's traffic so
   // the DRAM clock includes this step's contention.
   for (const auto& xfer : active_) {
@@ -805,11 +1057,12 @@ bool ServeEngine::step() {
       req.first_token_recorded = true;
       req.first_token_step = now_;
       req.first_token_cycle = hbm_.cycle();
+      trace_lifecycle_instant(xfer.request, "first_token");
       if (config_.simulate_dram) {
-        metrics_.ttft_cycle_samples.push_back(
-            static_cast<double>(req.ttft_cycles()));
-        class_metrics(req).ttft_cycle_samples.push_back(
-            static_cast<double>(req.ttft_cycles()));
+        metrics_.record_ttft(static_cast<double>(req.ttft_cycles()),
+                             config_.retain_latency_samples);
+        class_metrics(req).record_ttft(static_cast<double>(req.ttft_cycles()),
+                                       config_.retain_latency_samples);
       }
       if (req.event.slo_ttft_steps > 0) {
         ClassMetrics& cls = class_metrics(req);
@@ -822,10 +1075,12 @@ bool ServeEngine::step() {
     if (req.state == RequestState::finished && req.finish_step == now_) {
       req.finish_cycle = hbm_.cycle();
       if (config_.simulate_dram) {
-        metrics_.request_latency_cycle_samples.push_back(
-            static_cast<double>(req.latency_cycles()));
-        class_metrics(req).latency_cycle_samples.push_back(
-            static_cast<double>(req.latency_cycles()));
+        metrics_.record_request_latency(
+            static_cast<double>(req.latency_cycles()),
+            config_.retain_latency_samples);
+        class_metrics(req).record_latency(
+            static_cast<double>(req.latency_cycles()),
+            config_.retain_latency_samples);
       }
     }
   }
@@ -847,6 +1102,21 @@ bool ServeEngine::step() {
 
   metrics_.pool_peak_pages = pool_.peak_pages_in_use();
   metrics_.pool_reuses = pool_.reuses();
+  }  // other_timer
+
+  // Per-step engine gauges as counter tracks (queue/batch/pool timelines
+  // beside the step spans in Perfetto).
+  if (trace_ != nullptr) {
+    const std::uint64_t ts = trace_->now_ns();
+    trace_->counter(0, obs::TraceDomain::engine, "pool.pages_free", ts,
+                    "pages", static_cast<double>(pool_.pages_free()));
+    trace_->counter(0, obs::TraceDomain::engine, "batch.running", ts,
+                    "requests",
+                    static_cast<double>(batcher_.running().size()));
+    trace_->counter(0, obs::TraceDomain::engine, "queue.depth", ts,
+                    "requests", static_cast<double>(batcher_.queue().size()));
+  }
+
   ++metrics_.engine_steps;
   ++now_;
   return finished_ < requests_.size();

@@ -49,10 +49,14 @@
 #include <array>
 
 #include "common/parallel.h"
+#include "common/stats.h"
 #include "core/quantized_kv_cache.h"
 #include "core/spatten.h"
 #include "core/token_picker.h"
 #include "memsim/hbm.h"
+#include "obs/metrics.h"
+#include "obs/phase_stats.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/paged_kv_pool.h"
 #include "serve/paged_sequence.h"
@@ -138,6 +142,25 @@ struct ServeConfig {
   // engine still accounts bits but reports no cycle numbers (faster benches).
   bool simulate_dram = true;
   mem::DramConfig dram;
+
+  // --- Observability (src/obs/) ---
+  // All three knobs are read-only taps: they observe the steady clock and
+  // engine state but never mutate it, so outputs, pruning decisions, and
+  // FleetMetrics are bit-identical with them on or off (enforced by
+  // tests/obs_test.cpp on top of the serve determinism suite).
+
+  // Cycle+wall-domain trace sink (null = tracing off). The recorder must
+  // outlive the engine; the engine sizes its per-thread tracks to `threads`.
+  obs::TraceRecorder* trace = nullptr;
+  // Accumulate per-phase step time attribution (ServeEngine::phase_stats()).
+  bool collect_phase_stats = false;
+  // Keep exact per-sample latency vectors in FleetMetrics/ClassMetrics
+  // (default; percentile accessors are exact). false = bounded-memory mode:
+  // only the streaming log-bucketed histograms are fed, the sample vectors
+  // stay empty, and percentile accessors answer from the histograms within
+  // their relative-error bound — O(buckets) memory however long the fleet
+  // runs.
+  bool retain_latency_samples = true;
 };
 
 // Per-priority-class slice of the fleet metrics: latency distributions,
@@ -154,10 +177,22 @@ struct ClassMetrics {
   std::vector<double> latency_cycle_samples;
   std::vector<double> queue_wait_step_samples;
 
+  // Streaming log-bucketed companions to the vectors above: always fed, so a
+  // bounded-memory deployment (retain_latency_samples = false) keeps
+  // quantiles within the histogram's relative-error bound, and future fleet
+  // shards can merge() their class slices exactly.
+  obs::LogHistogram ttft_cycle_hist;
+  obs::LogHistogram latency_cycle_hist;
+  obs::LogHistogram queue_wait_hist;
+
   std::size_t slo_ttft_tracked = 0;
   std::size_t slo_ttft_met = 0;
   std::size_t slo_latency_tracked = 0;
   std::size_t slo_latency_met = 0;
+
+  void record_ttft(double cycles, bool retain_samples);
+  void record_latency(double cycles, bool retain_samples);
+  void record_queue_wait(double steps, bool retain_samples);
 
   double p50_ttft_cycles() const;
   double p99_ttft_cycles() const;
@@ -168,6 +203,13 @@ struct ClassMetrics {
   // class tracked none (vacuously attained).
   double slo_ttft_attainment() const;
   double slo_latency_attainment() const;
+
+ private:
+  double ttft_quantile(double p) const;
+  double latency_quantile(double p) const;
+  // Sort-once snapshots for the exact accessors (see PercentileCache).
+  PercentileCache ttft_cache_;
+  PercentileCache latency_cache_;
 };
 
 struct FleetMetrics {
@@ -202,6 +244,13 @@ struct FleetMetrics {
   // Arrival -> first admission, in engine steps (always recorded).
   std::vector<double> queue_wait_step_samples;
 
+  // Streaming log-bucketed companions (see ClassMetrics): bounded-memory
+  // quantiles and exact cross-shard merging for the fleet-wide distributions.
+  obs::LogHistogram step_cycle_hist;
+  obs::LogHistogram ttft_cycle_hist;
+  obs::LogHistogram request_latency_hist;
+  obs::LogHistogram queue_wait_hist;
+
   std::size_t pool_peak_pages = 0;
   std::uint64_t pool_reuses = 0;
   std::uint64_t pages_reclaimed = 0;  // freed by pruning (not retirement)
@@ -212,6 +261,11 @@ struct FleetMetrics {
   const ClassMetrics& for_class(wl::Priority priority) const {
     return per_class[static_cast<std::size_t>(priority)];
   }
+
+  void record_step_cycles(double cycles, bool retain_samples);
+  void record_ttft(double cycles, bool retain_samples);
+  void record_request_latency(double cycles, bool retain_samples);
+  void record_queue_wait(double steps, bool retain_samples);
 
   double p50_step_cycles() const;
   double p95_step_cycles() const;
@@ -229,6 +283,14 @@ struct FleetMetrics {
   double tokens_per_second(double dram_clock_hz = 1e9) const;
   // DRAM bytes moved per generated token, prefill writes included.
   double bytes_per_token() const;
+
+ private:
+  double step_quantile(double p) const;
+  double ttft_quantile(double p) const;
+  double latency_quantile(double p) const;
+  PercentileCache step_cache_;
+  PercentileCache ttft_cache_;
+  PercentileCache latency_cache_;
 };
 
 class ServeEngine {
@@ -253,6 +315,8 @@ class ServeEngine {
   const ContinuousBatcher& batcher() const { return batcher_; }
   const FleetMetrics& metrics() const { return metrics_; }
   const ServeConfig& config() const { return config_; }
+  // Per-phase step time attribution; all-zero unless collect_phase_stats.
+  const obs::StepPhaseStats& phase_stats() const { return phase_stats_; }
 
  private:
   struct Slot;       // per-running-request paged cache + pruning state
@@ -326,6 +390,12 @@ class ServeEngine {
   void retire(std::size_t request);
   void simulate_step_dram(const std::vector<std::uint64_t>& step_bits,
                           const std::vector<StepXfer>& active);
+  // Request-lifecycle trace transitions (no-ops when tracing is off). A
+  // request's async track is one "request" span nesting exactly one of
+  // {queued, prefill, decode} at any instant.
+  void trace_lifecycle_begin(std::size_t request, const char* state);
+  void trace_lifecycle_end(std::size_t request, const char* state);
+  void trace_lifecycle_instant(std::size_t request, const char* name);
 
   ServeConfig config_;
   PagedKvPool pool_;
@@ -344,6 +414,11 @@ class ServeEngine {
   FleetMetrics metrics_;
   double fragmentation_sum_ = 0.0;
   std::size_t fragmentation_samples_ = 0;
+
+  // Observability taps (read-only with respect to engine state).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::StepPhaseStats phase_stats_;
+  std::vector<obs::WorkerBusyNs> worker_busy_;  // zeroed per step
 
   // Per-worker attention scratch (allocation-free decode; one per thread so
   // the parallel phase never shares TokenPickerAttention state).
