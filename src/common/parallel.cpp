@@ -1,33 +1,83 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/require.h"
 
 namespace topick {
 
-struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable work_done;
-  std::vector<std::thread> workers;
+namespace {
 
-  // Current job, published under `mutex` and announced by bumping
-  // `generation`. Workers race on `next` for task indices.
+// Brief busy-wait before falling back to the condition variable: a serve
+// step dispatches every few hundred microseconds, so a parked worker that
+// spins through the inter-batch gap saves a futex round-trip per step. The
+// budget is small enough that an idle pool still goes to sleep promptly.
+constexpr int kSpinIters = 1 << 14;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+#if defined(__cpp_lib_hardware_interference_size)
+constexpr std::size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+constexpr std::size_t kCacheLine = 64;
+#endif
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One wakeup slot per spawned worker: the dispatcher locks/unlocks the
+  // slot's (empty) critical section and notifies only the workers a batch
+  // actually engages, instead of a shared notify_all that drags every
+  // parked thread through the scheduler.
+  struct alignas(kCacheLine) WorkerSlot {
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+
+  std::vector<std::thread> workers;
+  std::deque<WorkerSlot> slots;  // deque: WorkerSlot is immovable
+
+  // Batch state, published before the release-bump of `generation`; workers
+  // acquire-load `generation` and then read the plain fields.
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
   std::size_t n = 0;
+  std::size_t engaged = 0;  // spawned workers engaged (ids 1..engaged)
   std::atomic<std::size_t> next{0};
-  std::size_t active = 0;  // spawned workers still inside the current job
-  std::uint64_t generation = 0;
-  bool stop = false;
+  std::atomic<std::size_t> active{0};  // engaged workers not yet done
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
 
   std::mutex error_mutex;
   std::exception_ptr error;
+
+  void record_error() {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+    failed.store(true, std::memory_order_release);
+  }
 
   void run_tasks(std::size_t worker) {
     while (true) {
@@ -36,25 +86,39 @@ struct ThreadPool::Impl {
       try {
         (*fn)(task, worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        record_error();
       }
     }
   }
 
   void worker_loop(std::size_t worker) {
     std::uint64_t seen = 0;
+    WorkerSlot& slot = slots[worker - 1];
     while (true) {
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        work_ready.wait(lock, [&] { return stop || generation != seen; });
-        if (stop) return;
-        seen = generation;
+      std::uint64_t gen = generation.load(std::memory_order_acquire);
+      if (gen == seen && !stop.load(std::memory_order_relaxed)) {
+        for (int spin = 0; spin < kSpinIters; ++spin) {
+          cpu_relax();
+          gen = generation.load(std::memory_order_acquire);
+          if (gen != seen || stop.load(std::memory_order_relaxed)) break;
+        }
+        if (gen == seen && !stop.load(std::memory_order_relaxed)) {
+          std::unique_lock<std::mutex> lock(slot.mutex);
+          slot.cv.wait(lock, [&] {
+            return generation.load(std::memory_order_acquire) != seen ||
+                   stop.load(std::memory_order_relaxed);
+          });
+          gen = generation.load(std::memory_order_acquire);
+        }
       }
+      if (stop.load(std::memory_order_relaxed)) return;
+      if (gen == seen) continue;
+      seen = gen;
+      if (worker > engaged) continue;  // batch fanned out narrower than us
       run_tasks(worker);
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (--active == 0) work_done.notify_all();
+      if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
       }
     }
   }
@@ -63,57 +127,255 @@ struct ThreadPool::Impl {
 ThreadPool::ThreadPool(std::size_t threads)
     : threads_(threads == 0 ? 1 : threads) {
   if (threads_ <= 1) return;
+  // Cap to the host: oversubscribing a compute-bound fan-out only adds
+  // context-switch cost. hardware_concurrency() may report 0 (unknown) —
+  // then take the request at face value.
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = threads_;
+  const std::size_t spawn = (threads_ < hw ? threads_ : hw) - 1;
+  if (spawn == 0) return;
   impl_ = std::make_unique<Impl>();
-  impl_->workers.reserve(threads_ - 1);
-  for (std::size_t w = 1; w < threads_; ++w) {
+  impl_->slots.resize(spawn);
+  impl_->workers.reserve(spawn);
+  for (std::size_t w = 1; w <= spawn; ++w) {
     impl_->workers.emplace_back([this, w] { impl_->worker_loop(w); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   if (!impl_) return;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->stop = true;
+  impl_->stop.store(true, std::memory_order_release);
+  for (auto& slot : impl_->slots) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.cv.notify_one();
   }
-  impl_->work_ready.notify_all();
   for (auto& worker : impl_->workers) worker.join();
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  if (!impl_ || n == 1) {
-    // Sequential fast path — identical results by the determinism contract.
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+std::size_t ThreadPool::workers_spawned() const {
+  return impl_ ? impl_->workers.size() : 0;
+}
+
+std::size_t ThreadPool::fanout(std::size_t n, std::size_t grain) const {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  std::size_t want = n / grain;
+  if (want == 0) want = 1;
+  std::size_t cap = workers_spawned() + 1;
+  if (cap > n) cap = n;
+  return want < cap ? want : cap;
+}
+
+void ThreadPool::submit(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  require(inline_fn_ == nullptr && (!impl_ || impl_->fn == nullptr),
+          "ThreadPool: a batch is already open (reentrant dispatch?)");
+  const std::size_t width = fanout(n, grain);
+  if (width <= 1 || !impl_) {
+    // Sequential batch: the caller drains it via run_one(); no worker wakes.
+    inline_fn_ = &fn;
+    inline_n_ = n;
+    inline_next_ = 0;
     return;
   }
-  require(impl_->fn == nullptr,
-          "ThreadPool: reentrant parallel_for is not supported");
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->fn = &fn;
-    impl_->n = n;
-    impl_->next.store(0, std::memory_order_relaxed);
-    impl_->active = impl_->workers.size();
-    ++impl_->generation;
+  impl_->fn = &fn;
+  impl_->n = n;
+  impl_->engaged = width - 1;  // the caller is the width-th participant
+  impl_->next.store(0, std::memory_order_relaxed);
+  impl_->active.store(impl_->engaged, std::memory_order_relaxed);
+  impl_->failed.store(false, std::memory_order_relaxed);
+  impl_->generation.fetch_add(1, std::memory_order_release);
+  for (std::size_t w = 0; w < impl_->engaged; ++w) {
+    Impl::WorkerSlot& slot = impl_->slots[w];
+    { std::lock_guard<std::mutex> lock(slot.mutex); }
+    slot.cv.notify_one();
   }
-  impl_->work_ready.notify_all();
-  impl_->run_tasks(0);  // the calling thread is worker 0
-  {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
-    impl_->work_done.wait(lock, [&] { return impl_->active == 0; });
-    impl_->fn = nullptr;
+}
+
+bool ThreadPool::run_one() {
+  if (inline_fn_) {
+    if (inline_next_ >= inline_n_) return false;
+    const std::size_t task = inline_next_++;
+    try {
+      (*inline_fn_)(task, 0);
+    } catch (...) {
+      if (impl_) {
+        impl_->record_error();
+      } else {
+        // No Impl to park the exception in: surface it via finish() through
+        // a one-shot local slot.
+        inline_error_ = std::current_exception();
+      }
+    }
+    return true;
   }
-  if (impl_->error) {
+  if (!impl_ || !impl_->fn) return false;
+  const std::size_t task =
+      impl_->next.fetch_add(1, std::memory_order_relaxed);
+  if (task >= impl_->n) return false;
+  try {
+    (*impl_->fn)(task, 0);
+  } catch (...) {
+    impl_->record_error();
+  }
+  return true;
+}
+
+void ThreadPool::finish() {
+  if (inline_fn_) {
+    while (run_one()) {
+    }
+    inline_fn_ = nullptr;
+    inline_n_ = inline_next_ = 0;
+    std::exception_ptr error;
+    if (impl_) {
+      std::lock_guard<std::mutex> lock(impl_->error_mutex);
+      std::swap(error, impl_->error);
+      impl_->failed.store(false, std::memory_order_relaxed);
+    } else {
+      std::swap(error, inline_error_);
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  if (!impl_ || !impl_->fn) return;
+  while (run_one()) {
+  }
+  // Stragglers: spin briefly (batches are short), then sleep.
+  bool done = impl_->active.load(std::memory_order_acquire) == 0;
+  for (int spin = 0; !done && spin < kSpinIters; ++spin) {
+    cpu_relax();
+    done = impl_->active.load(std::memory_order_acquire) == 0;
+  }
+  if (!done) {
+    std::unique_lock<std::mutex> lock(impl_->done_mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return impl_->active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  impl_->fn = nullptr;
+  impl_->n = 0;
+  if (impl_->failed.load(std::memory_order_acquire) || impl_->error) {
     std::exception_ptr error;
     {
       std::lock_guard<std::mutex> lock(impl_->error_mutex);
       std::swap(error, impl_->error);
     }
-    std::rethrow_exception(error);
+    impl_->failed.store(false, std::memory_order_relaxed);
+    if (error) std::rethrow_exception(error);
   }
+}
+
+bool ThreadPool::failed() const {
+  if (impl_) return impl_->failed.load(std::memory_order_acquire);
+  return inline_error_ != nullptr;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (n == 0) return;
+  submit(n, fn, grain);
+  while (run_one()) {
+  }
+  finish();
+}
+
+// ---- SerialLane -------------------------------------------------------------
+
+struct SerialLane::Impl {
+  std::mutex mutex;
+  std::condition_variable submitted;  // worker waits for jobs
+  std::condition_variable completed;  // drain/backpressure waiters
+  std::deque<std::function<void()>> jobs;
+  std::atomic<std::size_t> pending{0};  // submitted, not yet completed
+  bool stop = false;
+  std::exception_ptr error;
+  std::thread thread;
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      submitted.wait(lock, [&] { return stop || !jobs.empty(); });
+      if (jobs.empty()) return;  // stop requested and queue drained
+      std::function<void()> job = std::move(jobs.front());
+      jobs.pop_front();
+      lock.unlock();
+      std::exception_ptr thrown;
+      try {
+        job();
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      lock.lock();
+      if (thrown && !error) error = thrown;
+      pending.fetch_sub(1, std::memory_order_release);
+      completed.notify_all();
+    }
+  }
+};
+
+SerialLane::SerialLane(bool enabled) {
+  if (!enabled) return;
+  impl_ = std::make_unique<Impl>();
+  impl_->thread = std::thread([this] { impl_->loop(); });
+}
+
+SerialLane::~SerialLane() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->submitted.notify_one();
+  impl_->thread.join();
+}
+
+void SerialLane::submit(std::function<void()> job) {
+  if (!impl_) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->jobs.push_back(std::move(job));
+    impl_->pending.fetch_add(1, std::memory_order_relaxed);
+  }
+  impl_->submitted.notify_one();
+}
+
+std::size_t SerialLane::depth() const {
+  return impl_ ? impl_->pending.load(std::memory_order_acquire) : 0;
+}
+
+std::uint64_t SerialLane::wait_depth_below(std::size_t max_depth) {
+  if (!impl_ || max_depth == 0) return 0;
+  if (impl_->pending.load(std::memory_order_acquire) < max_depth) return 0;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->completed.wait(lock, [&] {
+      return impl_->pending.load(std::memory_order_acquire) < max_depth;
+    });
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void SerialLane::drain() {
+  if (!impl_) return;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->completed.wait(lock, [&] {
+      return impl_->pending.load(std::memory_order_acquire) == 0;
+    });
+    std::swap(error, impl_->error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace topick

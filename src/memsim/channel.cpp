@@ -107,4 +107,32 @@ void Channel::tick(std::uint64_t now, std::vector<MemResponse>& done,
   queue_.erase(queue_.begin() + static_cast<long>(pick));
 }
 
+std::uint64_t Channel::replay(const std::vector<TimedArrival>& arrivals,
+                              std::uint64_t start,
+                              std::vector<MemResponse>& done,
+                              std::vector<TraceEntry>* trace) {
+  std::uint64_t now = start;
+  std::size_t next = 0;
+  while (next < arrivals.size() || pending() > 0) {
+    // Idle fast-forward: nothing queued or in flight and the next arrival is
+    // in the future. Refresh bookkeeping is clocked by tick(), so skipping
+    // is only exact with refresh off; with it on, tick through the gap.
+    if (pending() == 0 && next < arrivals.size() &&
+        arrivals[next].arrival > now && !config_->enable_refresh) {
+      now = arrivals[next].arrival;
+    }
+    while (next < arrivals.size() && arrivals[next].arrival <= now) {
+      if (!can_accept()) {
+        ++stats_.queue_full_stalls;
+        break;
+      }
+      enqueue(arrivals[next].request, arrivals[next].local);
+      ++next;
+    }
+    tick(now, done, trace);
+    ++now;
+  }
+  return now;
+}
+
 }  // namespace topick::mem

@@ -19,6 +19,14 @@ struct LocalAddr {
   std::uint64_t column = 0;
 };
 
+// One transaction of a pre-scheduled per-channel arrival stream (the sharded
+// replay's input; see Channel::replay).
+struct TimedArrival {
+  MemRequest request;
+  LocalAddr local;
+  std::uint64_t arrival = 0;  // absolute DRAM cycle the request arrives
+};
+
 class Channel {
  public:
   explicit Channel(const DramConfig& config);
@@ -30,6 +38,20 @@ class Channel {
   // When `trace` is non-null, committed commands are appended to it.
   void tick(std::uint64_t now, std::vector<MemResponse>& done,
             std::vector<TraceEntry>* trace = nullptr);
+
+  // Self-clocked replay of a pre-scheduled arrival stream: each entry is
+  // enqueued once its arrival cycle passes (and queue space allows — a full
+  // queue delays it and bumps stats().queue_full_stalls), then the channel
+  // ticks its own clock until every transaction retires. Starts no earlier
+  // than `start`, returns the cycle after the last tick. `arrivals` must be
+  // sorted by arrival cycle; same-channel transaction order is preserved
+  // exactly (FIFO into the queue in `arrivals` order). With refresh off and
+  // zero stalls this is cycle-exact vs. driving the same arrivals through
+  // the global serial tick loop, because the serial loop couples channels
+  // only through enqueue backpressure.
+  std::uint64_t replay(const std::vector<TimedArrival>& arrivals,
+                       std::uint64_t start, std::vector<MemResponse>& done,
+                       std::vector<TraceEntry>* trace = nullptr);
 
   std::size_t pending() const { return queue_.size() + in_flight_.size(); }
   const DramStats& stats() const { return stats_; }

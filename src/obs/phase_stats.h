@@ -24,14 +24,27 @@ struct StepPhaseStats {
   std::uint64_t append_ns = 0;    // sequential paged K/V appends + preemption
   std::uint64_t attention_wall_ns = 0;  // parallel-phase wall time
   std::uint64_t attention_busy_ns = 0;  // summed per-worker unit time
-  std::uint64_t barrier_wait_ns = 0;    // threads x wall - busy
-  std::uint64_t reduce_ns = 0;    // slot-ordered reduction
-  std::uint64_t replay_ns = 0;    // memsim DRAM replay (host time)
+  std::uint64_t barrier_wait_ns = 0;    // engaged fan-out x wall - busy
+  std::uint64_t reduce_ns = 0;    // slot-ordered reduction (post-barrier)
+  std::uint64_t replay_ns = 0;    // memsim DRAM replay (host time, inline)
   std::uint64_t other_ns = 0;     // checkpoints, fragmentation sampling
+
+  // Pipelined-executor attribution (zero in fork-join mode):
+  //   * reduce_overlap_ns — slot-ordered reduction interleaved INSIDE the
+  //     attention fan-out window (already inside attention_wall_ns; kept
+  //     separate so barrier accounting can subtract reclaimed idle time).
+  //   * lane_busy_ns — DRAM replay + cycle checkpoints executed on the
+  //     SerialLane thread, overlapped with the next step's compute (off the
+  //     main thread, so NOT part of total_ns()).
+  //   * lane_wait_ns — main-thread time blocked on lane backpressure/drain:
+  //     the residual serialization the pipeline failed to hide.
+  std::uint64_t reduce_overlap_ns = 0;
+  std::uint64_t lane_busy_ns = 0;
+  std::uint64_t lane_wait_ns = 0;
 
   std::uint64_t total_ns() const {
     return admit_ns + append_ns + attention_wall_ns + reduce_ns + replay_ns +
-           other_ns;
+           other_ns + lane_wait_ns;
   }
 
   void merge(const StepPhaseStats& other) {
@@ -44,6 +57,9 @@ struct StepPhaseStats {
     reduce_ns += other.reduce_ns;
     replay_ns += other.replay_ns;
     other_ns += other.other_ns;
+    reduce_overlap_ns += other.reduce_overlap_ns;
+    lane_busy_ns += other.lane_busy_ns;
+    lane_wait_ns += other.lane_wait_ns;
   }
 };
 

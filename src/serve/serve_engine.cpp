@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/require.h"
 #include "common/stats.h"
@@ -12,6 +13,16 @@
 namespace topick::serve {
 
 namespace {
+
+// Pipelined mode: how many outstanding lane jobs the main thread tolerates
+// before blocking — a handful of steps' worth of run-ahead. The block (if
+// any) is the pipeline's real serialization cost, reported as lane_wait_ns.
+constexpr std::size_t kMaxLaneDepth = 64;
+
+// Fan-out grain target (see step()): aim for at least this many context
+// tokens of attention work per dispatched task, so tiny scenarios don't pay
+// more in wake-ups than they win back in parallelism.
+constexpr std::uint64_t kGrainTokens = 1024;
 
 std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
   return static_cast<std::uint64_t>(
@@ -196,7 +207,8 @@ ServeEngine::ServeEngine(const ServeConfig& config)
       batcher_(BatcherConfig{config.max_batch, config.max_prefill}),
       policy_(make_policy(config.policy, config.policy_params)),
       hbm_(config.dram),
-      workers_(config.threads) {
+      workers_(config.threads),
+      lane_(config.pipeline) {
   require(config.n_layer > 0 && config.n_head > 0 && config.head_dim > 0,
           "ServeConfig: bad shape");
   require(workers_.threads() <= 1 ||
@@ -211,10 +223,20 @@ ServeEngine::ServeEngine(const ServeConfig& config)
   for (std::size_t w = 0; w < workers_.threads(); ++w) {
     workspaces_.push_back(std::make_unique<Workspace>(config_.picker));
   }
+  // The sharded replay runs on the lane thread in pipelined mode, so it gets
+  // its own small pool — a lane job must never re-enter the pool the main
+  // thread is dispatching attention through.
+  if (config_.shard_replay && config_.simulate_dram) {
+    replay_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(config_.dram.channels));
+  }
   // Observability taps: one trace track per worker thread (lock-free
-  // recording in the parallel phase) plus per-worker busy counters.
+  // recording in the parallel phase), one more for the lane's cycle-domain
+  // events in pipelined mode, plus per-worker busy counters.
   trace_ = config_.trace;
-  if (trace_ != nullptr) trace_->ensure_tracks(workers_.threads());
+  if (trace_ != nullptr) {
+    trace_->ensure_tracks(workers_.threads() + (config_.pipeline ? 1 : 0));
+  }
   worker_busy_.resize(workers_.threads());
 }
 
@@ -223,6 +245,9 @@ ServeEngine::~ServeEngine() = default;
 void ServeEngine::submit(const wl::ArrivalEvent& event) {
   require(requests_.empty() || event.step >= requests_.back().event.step,
           "ServeEngine::submit: arrivals must be in step order");
+  // Outstanding lane jobs hold indices into requests_; drain before the
+  // push_back below can reallocate under them. No-op unless pipelined.
+  lane_.drain();
   Request request;
   request.event = event;
   if (event.decode_len > 0) {
@@ -265,8 +290,28 @@ std::size_t ServeEngine::pages_for_prefill(const Request& request) const {
 }
 
 // Request-lifecycle async events (pid "requests", one async id per request).
-// All emitted from the sequential phases on track 0 — the parallel phase
-// never touches lifecycle state.
+// Built on the main thread's sequential phases — the parallel phase never
+// touches lifecycle state — then stamped and recorded via emit_request_event.
+void ServeEngine::emit_request_event(const obs::TraceEvent& event) {
+  if (!config_.pipeline) {
+    obs::TraceEvent e = event;
+    e.ts = trace_->now_ns();
+    e.cycle = hbm_.cycle();
+    trace_->record(0, e);
+    return;
+  }
+  // Pipelined: prior steps' replays may still be in flight. Stamp the event
+  // when the lane reaches it — by then every earlier step's clock advance has
+  // landed, so the cycle stamp matches the sequential engine's exactly. The
+  // lane records on its own track (one-writer-per-track invariant).
+  lane_.submit([this, event] {
+    obs::TraceEvent e = event;
+    e.ts = trace_->now_ns();
+    e.cycle = hbm_.cycle();
+    trace_->record(lane_track(), e);
+  });
+}
+
 void ServeEngine::trace_lifecycle_begin(std::size_t request,
                                         const char* state) {
   if (trace_ == nullptr) return;
@@ -275,11 +320,9 @@ void ServeEngine::trace_lifecycle_begin(std::size_t request,
   e.cat = "request";
   e.phase = 'b';
   e.domain = obs::TraceDomain::request;
-  e.ts = trace_->now_ns();
   e.id = request;
-  e.cycle = hbm_.cycle();
   e.arg("step", static_cast<double>(now_));
-  trace_->record(0, e);
+  emit_request_event(e);
 }
 
 void ServeEngine::trace_lifecycle_end(std::size_t request, const char* state) {
@@ -289,10 +332,8 @@ void ServeEngine::trace_lifecycle_end(std::size_t request, const char* state) {
   e.cat = "request";
   e.phase = 'e';
   e.domain = obs::TraceDomain::request;
-  e.ts = trace_->now_ns();
   e.id = request;
-  e.cycle = hbm_.cycle();
-  trace_->record(0, e);
+  emit_request_event(e);
 }
 
 void ServeEngine::trace_lifecycle_instant(std::size_t request,
@@ -303,18 +344,25 @@ void ServeEngine::trace_lifecycle_instant(std::size_t request,
   e.cat = "request";
   e.phase = 'n';
   e.domain = obs::TraceDomain::request;
-  e.ts = trace_->now_ns();
   e.id = request;
-  e.cycle = hbm_.cycle();
   e.arg("step", static_cast<double>(now_));
-  trace_->record(0, e);
+  emit_request_event(e);
 }
 
 void ServeEngine::admit_due_requests() {
   while (next_arrival_ < requests_.size() &&
          requests_[next_arrival_].event.step <= now_) {
     Request& req = requests_[next_arrival_];
-    req.arrival_cycle = hbm_.cycle();
+    if (config_.pipeline) {
+      // Cycle stamps ride the lane: earlier steps' replays may still be in
+      // flight, and the arrival must see the clock the sequential engine
+      // would show after them. The lane owns every *_cycle field.
+      lane_.submit([this, r = next_arrival_] {
+        requests_[r].arrival_cycle = hbm_.cycle();
+      });
+    } else {
+      req.arrival_cycle = hbm_.cycle();
+    }
     trace_lifecycle_begin(next_arrival_, "request");
     if (req.event.decode_len == 0) {
       // Nothing to generate: retire at arrival without taking a slot, pool
@@ -322,7 +370,13 @@ void ServeEngine::admit_due_requests() {
       req.state = RequestState::finished;
       req.admit_step = now_;
       req.finish_step = now_;
-      req.finish_cycle = req.arrival_cycle;
+      if (config_.pipeline) {
+        lane_.submit([this, r = next_arrival_] {
+          requests_[r].finish_cycle = requests_[r].arrival_cycle;
+        });
+      } else {
+        req.finish_cycle = req.arrival_cycle;
+      }
       ++finished_;
       ++metrics_.requests_retired;
       ClassMetrics& cls = class_metrics(req);
@@ -364,8 +418,11 @@ void ServeEngine::admit_due_requests() {
     // admission stops — no skipping past it to a smaller request.
     const RequestQueue& queue = batcher_.queue();
     admission_scratch_.clear();
-    for (std::size_t pos = 0; pos < queue.size(); ++pos) {
-      const std::size_t r = queue.at(pos);
+    admission_handles_.clear();
+    std::size_t pos = 0;
+    for (RequestQueue::Handle h = queue.first(); h != RequestQueue::kNone;
+         h = queue.next(h), ++pos) {
+      const std::size_t r = queue.request_of(h);
       const Request& req = requests_[r];
       AdmissionCandidate cand;
       cand.request = r;
@@ -383,6 +440,7 @@ void ServeEngine::admit_due_requests() {
             static_cast<long long>(now_);
       }
       admission_scratch_.push_back(cand);
+      admission_handles_.push_back(h);
     }
     const std::size_t pick = policy_->pick_admission(admission_scratch_);
     const std::size_t request = admission_scratch_[pick].request;
@@ -395,7 +453,7 @@ void ServeEngine::admit_due_requests() {
               "ServeEngine: request prefill exceeds total pool pages");
       break;
     }
-    batcher_.queue().erase_at(admission_scratch_[pick].queue_pos);
+    batcher_.queue().erase(admission_handles_[pick]);
     begin_prefill(request);
     if (requests_[request].state == RequestState::prefilling) {
       batcher_.admit_prefill(request);
@@ -728,8 +786,7 @@ void ServeEngine::reduce_pending(std::size_t pending) {
     req.prefill_bits += bits;
     metrics_.prefill_bits += bits;
     metrics_.prefill_tokens += work.chunk;
-    step_bits_[work.request] = bits;
-    active_.push_back(StepXfer{work.request, /*decode=*/false});
+    active_.push_back(StepXfer{work.request, /*decode=*/false, bits});
     // Emitted here — not at append time — so chunks cancelled by same-step
     // preemption never appear: the trace invariant "sum of prefill_chunk
     // token args == metrics.prefill_tokens" holds exactly.
@@ -739,12 +796,10 @@ void ServeEngine::reduce_pending(std::size_t pending) {
       e.cat = "request";
       e.phase = 'n';
       e.domain = obs::TraceDomain::request;
-      e.ts = trace_->now_ns();
       e.id = work.request;
-      e.cycle = hbm_.cycle();
       e.arg("tokens", static_cast<double>(work.chunk));
       e.arg("cursor", static_cast<double>(work.prefilled_before));
-      trace_->record(0, e);
+      emit_request_event(e);
     }
     return;
   }
@@ -821,13 +876,33 @@ void ServeEngine::reduce_pending(std::size_t pending) {
   metrics_.decode_write_bits += write_bits;
 
   if (config_.capture_outputs) req.outputs.push_back(std::move(record));
-  step_bits_[work.request] = bits;
-  active_.push_back(StepXfer{work.request, /*decode=*/true});
+  active_.push_back(StepXfer{work.request, /*decode=*/true, bits});
   ++req.generated;
   ++metrics_.tokens_generated;
   ++class_metrics(req).tokens_generated;
 
-  if (req.done()) retire(work.request);
+  // Step-domain latency bookkeeping happens now, at reduce time; the
+  // cycle-domain twins (cycle stamps + TTFT/latency samples) become a
+  // CycleCheckpoint applied after the replay — on the lane in pipelined mode.
+  CycleCheckpoint cp;
+  cp.request = work.request;
+  if (!req.first_token_recorded) {
+    req.first_token_recorded = true;
+    req.first_token_step = now_;
+    cp.first_token = true;
+    if (req.event.slo_ttft_steps > 0) {
+      ClassMetrics& cls = class_metrics(req);
+      ++cls.slo_ttft_tracked;
+      if (req.first_token_step - req.event.step <= req.event.slo_ttft_steps) {
+        ++cls.slo_ttft_met;
+      }
+    }
+  }
+  if (req.done()) {
+    retire(work.request);
+    cp.finished = true;
+  }
+  if (cp.first_token || cp.finished) checkpoints_.push_back(cp);
 }
 
 void ServeEngine::retire(std::size_t request) {
@@ -851,69 +926,110 @@ void ServeEngine::retire(std::size_t request) {
   }
 }
 
-void ServeEngine::simulate_step_dram(
-    const std::vector<std::uint64_t>& step_bits,
-    const std::vector<StepXfer>& active) {
+void ServeEngine::simulate_step_dram(const std::vector<StepXfer>& active) {
   const std::uint64_t start = hbm_.cycle();
   const auto granule =
       static_cast<std::uint64_t>(config_.dram.transaction_bytes);
 
   std::vector<std::uint64_t> remaining(active.size());
   std::vector<std::uint64_t> finish(active.size(), start);
-  std::uint64_t total_remaining = 0;
+  std::uint64_t total_granules = 0;
   for (std::size_t i = 0; i < active.size(); ++i) {
-    const std::uint64_t bytes = (step_bits[active[i].request] + 7) / 8;
+    const std::uint64_t bytes = (active[i].bits + 7) / 8;
     remaining[i] = (bytes + granule - 1) / granule;
-    total_remaining += remaining[i];
+    total_granules += remaining[i];
   }
-  const std::uint64_t total_granules = total_remaining;
 
-  // Per-channel occupancy sampling cadence (cycle-domain counter tracks). A
-  // replay window is typically a few thousand cycles; 64-cycle sampling keeps
-  // the queue/in-flight shape visible without bloating the trace.
-  constexpr std::uint64_t kChannelSampleCycles = 64;
-  static constexpr const char* kChannelKeys[8] = {"ch0", "ch1", "ch2", "ch3",
-                                                  "ch4", "ch5", "ch6", "ch7"};
-
-  while (total_remaining > 0 || hbm_.pending() > 0) {
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (remaining[i] == 0) continue;
-      const std::size_t request = active[i].request;
-      mem::MemRequest mreq;
-      mreq.addr =
-          dram_layout::stream_addr(request, dram_offset_[request], granule);
-      require(mreq.addr >= dram_layout::region_base(request) &&
-                  mreq.addr < dram_layout::region_base(request) +
-                                  dram_layout::kRegionBytes,
-              "ServeEngine: stream address escaped its request region");
-      mreq.id = i;
-      if (hbm_.try_enqueue(mreq)) {
-        --remaining[i];
-        --total_remaining;
-        ++dram_offset_[request];
+  if (config_.shard_replay) {
+    // Sharded path: build the analytic arrival schedule the serial driver
+    // below would produce absent backpressure — transfer i's granule k
+    // arrives at cycle start + k, transfers in index order within a cycle —
+    // and hand it to the per-channel replay. Partitioning a schedule sorted
+    // this way preserves same-channel order, so with refresh off and no
+    // queue-full stalls the result is cycle-exact vs. the serial driver
+    // (asserted by tests/memsim_test.cpp).
+    std::vector<mem::TimedRequest> schedule;
+    schedule.reserve(static_cast<std::size_t>(total_granules));
+    std::uint64_t max_granules = 0;
+    for (const std::uint64_t r : remaining) {
+      max_granules = std::max(max_granules, r);
+    }
+    for (std::uint64_t k = 0; k < max_granules; ++k) {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (remaining[i] <= k) continue;
+        const std::size_t request = active[i].request;
+        mem::MemRequest mreq;
+        mreq.addr = dram_layout::stream_addr(request,
+                                             dram_offset_[request] + k,
+                                             granule);
+        require(mreq.addr >= dram_layout::region_base(request) &&
+                    mreq.addr < dram_layout::region_base(request) +
+                                    dram_layout::kRegionBytes,
+                "ServeEngine: stream address escaped its request region");
+        mreq.id = i;
+        schedule.push_back(mem::TimedRequest{mreq, start + k});
       }
     }
-    hbm_.tick();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      dram_offset_[active[i].request] += remaining[i];
+    }
+    hbm_.replay_sharded(schedule, replay_pool_.get());
     for (const auto& resp : hbm_.drain_responses()) {
       finish[resp.id] = std::max(finish[resp.id], resp.ready_cycle);
     }
-    if (trace_ != nullptr &&
-        (hbm_.cycle() - start) % kChannelSampleCycles == 1) {
-      // Sampled at cycle 1 of the window (so even short replays get one
-      // loaded-state sample) and every kChannelSampleCycles after.
-      obs::TraceEvent e;
-      e.name = "channel_pending";
-      e.cat = "memsim";
-      e.phase = 'C';
-      e.domain = obs::TraceDomain::memsim;
-      e.ts = hbm_.cycle();
-      const std::size_t n_ch =
-          std::min<std::size_t>(hbm_.channel_count(),
-                                obs::TraceEvent::kMaxArgs);
-      for (std::size_t c = 0; c < n_ch; ++c) {
-        e.arg(kChannelKeys[c], static_cast<double>(hbm_.channel(c).pending()));
+  } else {
+    std::uint64_t total_remaining = total_granules;
+
+    // Per-channel occupancy sampling cadence (cycle-domain counter tracks).
+    // A replay window is typically a few thousand cycles; 64-cycle sampling
+    // keeps the queue/in-flight shape visible without bloating the trace.
+    // Serial driver only: the sharded channels run on decoupled clocks, so a
+    // global same-cycle occupancy snapshot has no meaning there.
+    constexpr std::uint64_t kChannelSampleCycles = 64;
+    static constexpr const char* kChannelKeys[8] = {
+        "ch0", "ch1", "ch2", "ch3", "ch4", "ch5", "ch6", "ch7"};
+
+    while (total_remaining > 0 || hbm_.pending() > 0) {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (remaining[i] == 0) continue;
+        const std::size_t request = active[i].request;
+        mem::MemRequest mreq;
+        mreq.addr =
+            dram_layout::stream_addr(request, dram_offset_[request], granule);
+        require(mreq.addr >= dram_layout::region_base(request) &&
+                    mreq.addr < dram_layout::region_base(request) +
+                                    dram_layout::kRegionBytes,
+                "ServeEngine: stream address escaped its request region");
+        mreq.id = i;
+        if (hbm_.try_enqueue(mreq)) {
+          --remaining[i];
+          --total_remaining;
+          ++dram_offset_[request];
+        }
       }
-      trace_->record(0, e);
+      hbm_.tick();
+      for (const auto& resp : hbm_.drain_responses()) {
+        finish[resp.id] = std::max(finish[resp.id], resp.ready_cycle);
+      }
+      if (trace_ != nullptr &&
+          (hbm_.cycle() - start) % kChannelSampleCycles == 1) {
+        // Sampled at cycle 1 of the window (so even short replays get one
+        // loaded-state sample) and every kChannelSampleCycles after.
+        obs::TraceEvent e;
+        e.name = "channel_pending";
+        e.cat = "memsim";
+        e.phase = 'C';
+        e.domain = obs::TraceDomain::memsim;
+        e.ts = hbm_.cycle();
+        const std::size_t n_ch =
+            std::min<std::size_t>(hbm_.channel_count(),
+                                  obs::TraceEvent::kMaxArgs);
+        for (std::size_t c = 0; c < n_ch; ++c) {
+          e.arg(kChannelKeys[c],
+                static_cast<double>(hbm_.channel(c).pending()));
+        }
+        trace_->record(lane_track(), e);
+      }
     }
   }
 
@@ -941,21 +1057,113 @@ void ServeEngine::simulate_step_dram(
     e.dur = hbm_.cycle() - start;
     e.arg("transfers", static_cast<double>(active.size()));
     e.arg("granules", static_cast<double>(total_granules));
-    trace_->record(0, e);
+    e.arg("sharded", config_.shard_replay ? 1.0 : 0.0);
+    trace_->record(lane_track(), e);
   }
 }
 
+void ServeEngine::apply_cycle_checkpoints(
+    const std::vector<CycleCheckpoint>& checkpoints, std::size_t step) {
+  // Stamped after the step's traffic drained, so the DRAM clock includes this
+  // step's contention. Runs on the lane in pipelined mode: every field it
+  // touches (cycle stamps, TTFT/latency samples and histograms) is lane-owned
+  // there, disjoint from the step-domain fields the main thread writes.
+  for (const auto& cp : checkpoints) {
+    Request& req = requests_[cp.request];
+    if (cp.first_token) {
+      req.first_token_cycle = hbm_.cycle();
+      if (trace_ != nullptr) {
+        obs::TraceEvent e;
+        e.name = "first_token";
+        e.cat = "request";
+        e.phase = 'n';
+        e.domain = obs::TraceDomain::request;
+        e.ts = trace_->now_ns();
+        e.id = cp.request;
+        e.cycle = hbm_.cycle();
+        e.arg("step", static_cast<double>(step));
+        trace_->record(lane_track(), e);
+      }
+      if (config_.simulate_dram) {
+        metrics_.record_ttft(static_cast<double>(req.ttft_cycles()),
+                             config_.retain_latency_samples);
+        class_metrics(req).record_ttft(static_cast<double>(req.ttft_cycles()),
+                                       config_.retain_latency_samples);
+      }
+    }
+    if (cp.finished) {
+      req.finish_cycle = hbm_.cycle();
+      if (config_.simulate_dram) {
+        metrics_.record_request_latency(
+            static_cast<double>(req.latency_cycles()),
+            config_.retain_latency_samples);
+        class_metrics(req).record_latency(
+            static_cast<double>(req.latency_cycles()),
+            config_.retain_latency_samples);
+      }
+    }
+  }
+}
+
+void ServeEngine::finish_step_cycle_work() {
+  const bool phases = config_.collect_phase_stats;
+  if (!config_.pipeline) {
+    if (config_.simulate_dram && !active_.empty()) {
+      obs::PhaseTimer replay_timer(phases ? &phase_stats_.replay_ns : nullptr);
+      obs::TraceSpan span(trace_, 0, "dram_replay", "engine");
+      span.cycle(hbm_.cycle());
+      span.arg("transfers", static_cast<double>(active_.size()));
+      simulate_step_dram(active_);
+    }
+    obs::PhaseTimer other_timer(phases ? &phase_stats_.other_ns : nullptr);
+    apply_cycle_checkpoints(checkpoints_, now_);
+    return;
+  }
+  // Pipelined: one lane job replays this step's traffic and applies its
+  // checkpoints while the main thread starts step t+1. Jobs run in
+  // submission order — identical to sequential program order — so the DRAM
+  // clock evolves bit-identically to the sequential engine's.
+  if (active_.empty() && checkpoints_.empty()) return;
+  lane_.submit([this, xfers = std::move(active_),
+                cps = std::move(checkpoints_), step = now_] {
+    const bool timed = config_.collect_phase_stats;
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+    if (config_.simulate_dram && !xfers.empty()) {
+      obs::TraceSpan span(trace_, lane_track(), "dram_replay", "engine");
+      span.cycle(hbm_.cycle());
+      span.arg("transfers", static_cast<double>(xfers.size()));
+      span.arg("step", static_cast<double>(step));
+      simulate_step_dram(xfers);
+    }
+    apply_cycle_checkpoints(cps, step);
+    if (timed) phase_stats_.lane_busy_ns += elapsed_ns(t0);
+  });
+  active_ = {};  // moved-from: hand back fresh buffers for the next step
+  checkpoints_ = {};
+}
+
 bool ServeEngine::step() {
-  if (finished_ >= requests_.size()) return false;
+  if (finished_ >= requests_.size()) {
+    lane_.drain();
+    return false;
+  }
 
   // Phase attribution and tracing are read-only taps around the existing
   // phase structure: PhaseTimer/TraceSpan only read the steady clock, so the
   // step's work is bit-identical with them on or off.
   const bool phases = config_.collect_phase_stats;
   if (phases) ++phase_stats_.steps;
+  if (lane_.enabled()) {
+    // Bound the cross-step run-ahead; the block (if any) is the pipeline's
+    // actual serialization cost, attributed as lane_wait_ns.
+    const std::uint64_t waited = lane_.wait_depth_below(kMaxLaneDepth);
+    if (phases) phase_stats_.lane_wait_ns += waited;
+  }
   obs::TraceSpan step_span(trace_, 0, "step", "engine");
   step_span.arg("step", static_cast<double>(now_));
-  step_span.cycle(hbm_.cycle());
+  // Pipelined, the lane owns the DRAM clock; main-thread spans go uncycled.
+  if (!config_.pipeline) step_span.cycle(hbm_.cycle());
 
   {
     obs::PhaseTimer timer(phases ? &phase_stats_.admit_ns : nullptr);
@@ -971,8 +1179,8 @@ bool ServeEngine::step() {
     obs::TraceSpan span(trace_, 0, "append", "engine");
     const std::vector<std::size_t> schedule = batcher_.running();
     pending_.clear();
-    step_bits_.assign(requests_.size(), 0);
     active_.clear();
+    checkpoints_.clear();
     for (const std::size_t request : schedule) {
       // A false return = the request self-preempted inside the call (the
       // policy shielded every running request): nothing appended, no traffic.
@@ -1003,88 +1211,132 @@ bool ServeEngine::step() {
       }
     }
   }
-  {
+
+  // Fan-out grain: aim for >= kGrainTokens context tokens of attention work
+  // per dispatched task — tiny scenarios otherwise lose more to dispatch
+  // wake-ups than they win back from parallelism (the 2k-context bench's
+  // multi-thread regression). A pending's work is ~its context length.
+  std::size_t grain = 1;
+  if (!pending_.empty()) {
+    std::uint64_t tokens = 0;
+    for (const auto& work : pending_) {
+      tokens += work.decode ? work.pos + 1 : work.chunk;
+    }
+    const std::uint64_t avg =
+        std::max<std::uint64_t>(1, tokens / pending_.size());
+    if (avg < kGrainTokens) grain = static_cast<std::size_t>(kGrainTokens / avg);
+  }
+  const std::size_t engaged = workers_.fanout(units_.size(), grain);
+
+  if (!config_.pipeline) {
+    {
+      obs::TraceSpan span(trace_, 0, "attention", "engine");
+      span.arg("units", static_cast<double>(units_.size()));
+      std::chrono::steady_clock::time_point t0;
+      if (phases) {
+        for (auto& wb : worker_busy_) wb.ns = 0;
+        t0 = std::chrono::steady_clock::now();
+      }
+      workers_.parallel_for(
+          units_.size(),
+          [this](std::size_t unit, std::size_t worker) {
+            run_unit(units_[unit], worker);
+          },
+          grain);
+      if (phases) {
+        const std::uint64_t wall = elapsed_ns(t0);
+        std::uint64_t busy = 0;
+        for (const auto& wb : worker_busy_) busy += wb.ns;
+        // Barrier wait: the fork-join step holds every engaged lane until
+        // the slowest unit chain finishes — engaged fan-out x wall minus
+        // summed busy is the idle time the pipelined executor reclaims.
+        const std::uint64_t capacity = wall * engaged;
+        phase_stats_.attention_wall_ns += wall;
+        phase_stats_.attention_busy_ns += busy;
+        phase_stats_.barrier_wait_ns += capacity > busy ? capacity - busy : 0;
+      }
+    }
+
+    // Reduction phase — sequential, in the append phase's slot order:
+    // persistence + reclamation, AccessStats merge, output capture, step
+    // traffic, retirement.
+    {
+      obs::PhaseTimer timer(phases ? &phase_stats_.reduce_ns : nullptr);
+      obs::TraceSpan span(trace_, 0, "reduce", "engine");
+      for (std::size_t p = 0; p < pending_.size(); ++p) reduce_pending(p);
+    }
+  } else {
+    // Pipelined attention + reduction: the fan-out is submitted without a
+    // barrier and the main thread interleaves two jobs — claiming attention
+    // units like any worker, and reducing pendings (in slot order, the sole
+    // serialization point) as soon as their last unit lands. units_left_
+    // release/acquire pairs publish the workers' result writes.
     obs::TraceSpan span(trace_, 0, "attention", "engine");
     span.arg("units", static_cast<double>(units_.size()));
+    span.arg("overlapped", 1.0);
     std::chrono::steady_clock::time_point t0;
     if (phases) {
       for (auto& wb : worker_busy_) wb.ns = 0;
       t0 = std::chrono::steady_clock::now();
     }
-    workers_.parallel_for(units_.size(),
-                          [this](std::size_t unit, std::size_t worker) {
-                            run_unit(units_[unit], worker);
-                          });
+    if (units_left_cap_ < pending_.size()) {
+      units_left_ =
+          std::make_unique<std::atomic<std::uint32_t>[]>(pending_.size());
+      units_left_cap_ = pending_.size();
+    }
+    for (std::size_t p = 0; p < pending_.size(); ++p) {
+      units_left_[p].store(0, std::memory_order_relaxed);
+    }
+    for (const auto& unit : units_) {
+      units_left_[unit.pending].fetch_add(1, std::memory_order_relaxed);
+    }
+    workers_.submit(
+        units_.size(),
+        [this](std::size_t unit, std::size_t worker) {
+          run_unit(units_[unit], worker);
+          units_left_[units_[unit].pending].fetch_sub(
+              1, std::memory_order_release);
+        },
+        grain);
+    std::uint64_t reduce_ns = 0;
+    std::size_t next_reduce = 0;
+    for (;;) {
+      const bool ran = workers_.run_one();
+      while (next_reduce < pending_.size() &&
+             units_left_[next_reduce].load(std::memory_order_acquire) == 0) {
+        const auto r0 = phases ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+        reduce_pending(next_reduce);
+        ++next_reduce;
+        if (phases) reduce_ns += elapsed_ns(r0);
+      }
+      if (!ran) {
+        if (next_reduce >= pending_.size() || workers_.failed()) break;
+        // All units claimed but a worker still owns the head pending's last
+        // unit; yield until it lands rather than spinning hot.
+        std::this_thread::yield();
+      }
+    }
+    workers_.finish();  // rethrows a task exception
     if (phases) {
       const std::uint64_t wall = elapsed_ns(t0);
       std::uint64_t busy = 0;
       for (const auto& wb : worker_busy_) busy += wb.ns;
-      // Barrier wait: the fork-join step holds every worker until the
-      // slowest unit chain finishes — threads x wall minus summed busy is
-      // the idle time ROADMAP item 3 wants to reclaim.
-      const std::uint64_t capacity = wall * workers_.threads();
       phase_stats_.attention_wall_ns += wall;
       phase_stats_.attention_busy_ns += busy;
-      phase_stats_.barrier_wait_ns += capacity > busy ? capacity - busy : 0;
+      phase_stats_.reduce_overlap_ns += reduce_ns;
+      const std::uint64_t capacity = wall * engaged;
+      const std::uint64_t used = busy + reduce_ns;
+      phase_stats_.barrier_wait_ns += capacity > used ? capacity - used : 0;
     }
   }
 
-  // Reduction phase — sequential, in the append phase's slot order:
-  // persistence + reclamation, AccessStats merge, output capture, step
-  // traffic, retirement.
-  {
-    obs::PhaseTimer timer(phases ? &phase_stats_.reduce_ns : nullptr);
-    obs::TraceSpan span(trace_, 0, "reduce", "engine");
-    for (std::size_t p = 0; p < pending_.size(); ++p) reduce_pending(p);
-  }
-
-  if (config_.simulate_dram && !active_.empty()) {
-    obs::PhaseTimer timer(phases ? &phase_stats_.replay_ns : nullptr);
-    obs::TraceSpan span(trace_, 0, "dram_replay", "engine");
-    span.cycle(hbm_.cycle());
-    span.arg("transfers", static_cast<double>(active_.size()));
-    simulate_step_dram(step_bits_, active_);
-  }
+  // DRAM replay + cycle-domain checkpoints: inline here (sequential), or as
+  // one lane job overlapping the next step's compute (pipelined).
+  finish_step_cycle_work();
 
   {
   obs::PhaseTimer other_timer(phases ? &phase_stats_.other_ns : nullptr);
-  // Request-level latency checkpoints, stamped after the step's traffic so
-  // the DRAM clock includes this step's contention.
-  for (const auto& xfer : active_) {
-    if (!xfer.decode) continue;
-    Request& req = requests_[xfer.request];
-    if (!req.first_token_recorded && req.generated >= 1) {
-      req.first_token_recorded = true;
-      req.first_token_step = now_;
-      req.first_token_cycle = hbm_.cycle();
-      trace_lifecycle_instant(xfer.request, "first_token");
-      if (config_.simulate_dram) {
-        metrics_.record_ttft(static_cast<double>(req.ttft_cycles()),
-                             config_.retain_latency_samples);
-        class_metrics(req).record_ttft(static_cast<double>(req.ttft_cycles()),
-                                       config_.retain_latency_samples);
-      }
-      if (req.event.slo_ttft_steps > 0) {
-        ClassMetrics& cls = class_metrics(req);
-        ++cls.slo_ttft_tracked;
-        if (req.first_token_step - req.event.step <= req.event.slo_ttft_steps) {
-          ++cls.slo_ttft_met;
-        }
-      }
-    }
-    if (req.state == RequestState::finished && req.finish_step == now_) {
-      req.finish_cycle = hbm_.cycle();
-      if (config_.simulate_dram) {
-        metrics_.record_request_latency(
-            static_cast<double>(req.latency_cycles()),
-            config_.retain_latency_samples);
-        class_metrics(req).record_latency(
-            static_cast<double>(req.latency_cycles()),
-            config_.retain_latency_samples);
-      }
-    }
-  }
-
   // Fragmentation sample over live slots (running requests only).
   std::size_t pages = 0;
   std::size_t live = 0;
@@ -1119,7 +1371,11 @@ bool ServeEngine::step() {
 
   ++metrics_.engine_steps;
   ++now_;
-  return finished_ < requests_.size();
+  if (finished_ < requests_.size()) return true;
+  // Last request retired: drain the lane so metrics()/requests() and the
+  // trace are complete (and any lane-job exception surfaces here).
+  lane_.drain();
+  return false;
 }
 
 void ServeEngine::run() {

@@ -41,6 +41,7 @@
 // references replay exactly.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -122,6 +123,33 @@ struct ServeConfig {
   // policy_params (aging) applies to the priority-aware policies only.
   PolicyKind policy = PolicyKind::fifo_youngest_first;
   PrioritySlackParams policy_params;
+
+  // Pipelined executor (the ROADMAP item 3 refactor). Off, each step is the
+  // classic fork-join barrier: append -> parallel attention -> slot-ordered
+  // reduce -> inline DRAM replay. On, two overlaps open up, with the
+  // slot-ordered reduction left as the only serialization point:
+  //   * within a step, the main thread interleaves the reduction of
+  //     already-complete slots with the attention fan-out instead of waiting
+  //     at the barrier;
+  //   * across steps, the DRAM replay and every cycle-domain checkpoint of
+  //     step t run on a SerialLane thread while step t+1 admits/appends/
+  //     attends. Lane jobs run in submission order, so every simulated-clock
+  //     read sees exactly the state the sequential engine would have seen.
+  // Outputs, pruning decisions, and FleetMetrics are bit-identical to the
+  // sequential engine for any thread count and policy (enforced by
+  // tests/serve_invariants_test.cpp). metrics()/phase_stats()/requests()
+  // are safe to read once step() returned false (the lane is drained) — not
+  // mid-flight from another thread.
+  bool pipeline = false;
+
+  // Shard the memsim replay per channel (Hbm::replay_sharded): channels run
+  // independently — in parallel on host threads — fed by the analytic
+  // arrival schedule the serial driver would produce absent backpressure.
+  // Cycle-exact vs. the serial driver whenever refresh is off and no channel
+  // queue fills (DramStats::queue_full_stalls == 0); under queue pressure it
+  // models per-channel interference instead of the serial driver's global
+  // head-of-line stall, so cycle numbers may differ (outputs never do).
+  bool shard_replay = false;
 
   // Chunked prefill: prompt (or preemption-replay) tokens appended per
   // engine step while a request is in the prefilling state. 0 = monolithic —
@@ -327,6 +355,18 @@ class ServeEngine {
   struct StepXfer {
     std::size_t request = 0;
     bool decode = false;
+    std::uint64_t bits = 0;  // K/V bits this transfer moves
+  };
+  // Cycle-domain work a decode step leaves for after the replay: stamp the
+  // request's first-token/finish cycles and feed the latency metrics. In
+  // pipelined mode these run on the lane; the step-domain twins
+  // (first_token_step, SLO counters) are applied at reduce time on the main
+  // thread — the value partition that keeps the two threads off each other's
+  // fields.
+  struct CycleCheckpoint {
+    std::size_t request = 0;
+    bool first_token = false;
+    bool finished = false;
   };
 
   // One scheduled request's unit of step work, recorded by the sequential
@@ -388,8 +428,25 @@ class ServeEngine {
   bool preempt_for_pressure(std::size_t needy);
   void do_preempt(std::size_t request);
   void retire(std::size_t request);
-  void simulate_step_dram(const std::vector<std::uint64_t>& step_bits,
-                          const std::vector<StepXfer>& active);
+  void simulate_step_dram(const std::vector<StepXfer>& active);
+  // Post-replay cycle-domain bookkeeping: first-token/finish cycle stamps,
+  // TTFT/latency metrics, first_token trace instants. Runs inline after the
+  // replay in sequential mode; as a lane job (with the step's xfers) in
+  // pipelined mode.
+  void apply_cycle_checkpoints(const std::vector<CycleCheckpoint>& checkpoints,
+                               std::size_t step);
+  // Hands step `now_`'s replay + checkpoints to the lane (pipelined mode) or
+  // runs them inline (sequential mode), consuming active_/checkpoints_.
+  void finish_step_cycle_work();
+  // Records a request-domain trace event: immediately on track 0 in
+  // sequential mode, or as a lane job — stamped with the wall time and DRAM
+  // cycle at lane execution, on the lane's own track — in pipelined mode, so
+  // cycle stamps always reflect the sequential engine's clock.
+  void emit_request_event(const obs::TraceEvent& event);
+  // The lane's trace track (after the worker tracks); 0 when not pipelined.
+  std::size_t lane_track() const {
+    return config_.pipeline ? workers_.threads() : 0;
+  }
   // Request-lifecycle trace transitions (no-ops when tracing is off). A
   // request's async track is one "request" span nesting exactly one of
   // {queued, prefill, decode} at any instant.
@@ -428,12 +485,32 @@ class ServeEngine {
   std::vector<PendingWork> pending_;
   std::vector<ParallelUnit> units_;
   std::vector<InstanceResult> results_;
-  std::vector<std::uint64_t> step_bits_;
   std::vector<StepXfer> active_;
+  std::vector<CycleCheckpoint> checkpoints_;
   std::vector<std::size_t> dead_scratch_;
   // Policy candidate scratch, rebuilt per pick.
   std::vector<AdmissionCandidate> admission_scratch_;
   std::vector<VictimCandidate> victim_scratch_;
+  // Queue handles paired with admission_scratch_ entries so the winning
+  // candidate is erased in O(1).
+  std::vector<RequestQueue::Handle> admission_handles_;
+
+  // Pipelined-mode state. units_left_[p] counts pending p's attention units
+  // still in flight: workers decrement (release) as they finish a unit, the
+  // main thread reduces pending p once its count reads 0 (acquire) — the
+  // handshake that lets reduction overlap the fan-out without a barrier.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> units_left_;
+  std::size_t units_left_cap_ = 0;
+  // Worker pool for the sharded channel replay (shard_replay only). Separate
+  // from workers_: the replay runs on the lane thread in pipelined mode, and
+  // a lane job must not re-enter the pool the main thread is dispatching.
+  std::unique_ptr<ThreadPool> replay_pool_;
+  // Cross-step cycle-domain lane (pipelined mode; disabled otherwise). Lane
+  // jobs touch hbm_, dram_offset_, the requests' cycle stamps, and the
+  // metrics' latency samples — all members above — so the lane is declared
+  // last: its destructor drains outstanding jobs before anything they read
+  // is torn down.
+  SerialLane lane_;
 };
 
 }  // namespace topick::serve

@@ -21,6 +21,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -376,7 +377,11 @@ TEST(Trace, SpansProperlyNestedPerTrack) {
       spans.push_back(SpanInterval{e.ts, e.ts + e.dur, e.name});
     }
     SCOPED_TRACE(track);
-    EXPECT_FALSE(spans.empty());
+    // The pool caps spawned workers to the host's core count, so tracks
+    // beyond it legitimately stay empty on small machines.
+    if (track < std::thread::hardware_concurrency()) {
+      EXPECT_FALSE(spans.empty());
+    }
     expect_no_partial_overlap(spans);
   }
 }
@@ -544,6 +549,78 @@ TEST(TracingDeterminism, TracingOnVsOffIsBitIdentical) {
   }
 }
 
+// The same contract must hold in pipelined mode, where lifecycle events and
+// cycle stamps ride the lane thread: attaching the recorder adds lane jobs
+// but changes nothing downstream.
+TEST(TracingDeterminism, PipelinedTracingOnVsOffIsBitIdentical) {
+  const auto trace = traced_trace();
+  for (const PolicyKind policy :
+       {PolicyKind::fifo_youngest_first, PolicyKind::priority_slack,
+        PolicyKind::cost_aware_victim}) {
+    SCOPED_TRACE(serve::policy_kind_name(policy));
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(threads);
+      ServeConfig plain = traced_config(policy);
+      plain.threads = threads;
+      plain.pipeline = true;
+      ServeEngine off(plain);
+      off.submit_trace(trace);
+      off.run();
+
+      TraceRecorder recorder(1);
+      ServeConfig instrumented = plain;
+      instrumented.trace = &recorder;
+      instrumented.collect_phase_stats = true;
+      ServeEngine on(instrumented);
+      on.submit_trace(trace);
+      on.run();
+
+      EXPECT_GT(recorder.event_count(), 0u);
+      expect_fleet_identical(off.metrics(), on.metrics());
+      expect_outputs_identical(off.requests(), on.requests());
+    }
+  }
+}
+
+// Pipelined traces stay well-formed: the lane records request/memsim events
+// on its own track, the export still validates, and every request lifecycle
+// closes exactly — the same invariants the sequential trace guarantees.
+TEST(Trace, PipelinedTraceIsValidAndLifecyclesBalanced) {
+  TraceRecorder recorder(1);
+  ServeConfig config = traced_config(PolicyKind::priority_slack);
+  config.threads = 2;
+  config.pipeline = true;
+  const FleetMetrics metrics = run_traced(config, &recorder);
+
+  std::ostringstream out;
+  recorder.write_chrome_json(out);
+  const auto v = obs::validate_chrome_trace(out.str());
+  EXPECT_TRUE(v.ok) << v.error;
+
+  std::map<std::pair<std::string, std::uint64_t>, int> balance;
+  std::size_t request_begins = 0;
+  std::size_t lane_track_events = 0;
+  for (std::size_t track = 0; track < recorder.tracks(); ++track) {
+    for (const TraceEvent& e : recorder.track_events(track)) {
+      if (track == config.threads) ++lane_track_events;
+      if (e.domain != TraceDomain::request) continue;
+      if (e.phase == 'b') {
+        ++balance[{e.name, e.id}];
+        if (std::string(e.name) == "request") ++request_begins;
+      } else if (e.phase == 'e') {
+        --balance[{e.name, e.id}];
+      }
+    }
+  }
+  for (const auto& [key, count] : balance) {
+    EXPECT_EQ(count, 0) << key.first << " id=" << key.second;
+  }
+  EXPECT_EQ(request_begins, metrics.requests_submitted);
+  // The lane track actually carries the cycle-domain events.
+  EXPECT_GT(lane_track_events, 0u);
+}
+
 // Canonical encoding of the deterministic part of an event: everything
 // except wall-clock ts/dur (which legitimately differ run to run). Memsim
 // events live in DRAM cycles, so their timestamps ARE deterministic and are
@@ -695,6 +772,35 @@ TEST(PhaseStats, AttributionAccountsForTheStep) {
   off.run();
   EXPECT_EQ(off.phase_stats().steps, 0u);
   EXPECT_EQ(off.phase_stats().total_ns(), 0u);
+}
+
+// Pipelined attribution: reductions overlap the fan-out (reduce_overlap_ns,
+// inside the attention window) and the replay moves off the critical path
+// onto the lane (lane_busy_ns instead of replay_ns); the capacity bound
+// still caps busy + barrier.
+TEST(PhaseStats, PipelinedAttributionSplitsOverlappedWork) {
+  ServeConfig config = traced_config(PolicyKind::fifo_youngest_first);
+  config.threads = 2;
+  config.pipeline = true;
+  config.collect_phase_stats = true;
+  ServeEngine engine(config);
+  engine.submit_trace(traced_trace());
+  engine.run();
+
+  const obs::StepPhaseStats& stats = engine.phase_stats();
+  EXPECT_EQ(stats.steps, engine.metrics().engine_steps);
+  EXPECT_GT(stats.total_ns(), 0u);
+  EXPECT_GT(stats.attention_wall_ns, 0u);
+  EXPECT_GT(stats.attention_busy_ns, 0u);
+  // Slot-ordered reductions ran inside the fan-out window, and the DRAM
+  // replay ran on the lane — not as an inline replay phase.
+  EXPECT_GT(stats.reduce_overlap_ns, 0u);
+  EXPECT_GT(stats.lane_busy_ns, 0u);
+  EXPECT_EQ(stats.replay_ns, 0u);
+  EXPECT_LE(stats.attention_busy_ns,
+            config.threads * stats.attention_wall_ns);
+  EXPECT_LE(stats.barrier_wait_ns,
+            config.threads * stats.attention_wall_ns);
 }
 
 }  // namespace

@@ -378,5 +378,89 @@ TEST(ServeEngineDeterminism, SpAttenThreadFanOutIsBitIdentical) {
   }
 }
 
+// Pipelined-executor acceptance: overlapped in-step reduction plus the
+// cross-step replay lane must leave outputs, FleetMetrics (cycle-domain
+// latency samples included), and token sets bit-identical to the sequential
+// fork-join engine — for every policy, at threads {1, 2, 8}, under the same
+// contended scenario the barrier suite uses.
+TEST(ServeEngineDeterminism, PipelinedExecutorIsBitIdenticalToSequential) {
+  wl::PriorityMixParams mix;
+  mix.arrivals.rate = 0.9;
+  for (auto& m : mix.mix) {
+    m.prompt_min = 4;
+    m.prompt_max = 24;
+    m.decode_min = 8;
+    m.decode_max = 24;
+  }
+
+  for (const PolicyKind policy :
+       {PolicyKind::fifo_youngest_first, PolicyKind::priority_slack,
+        PolicyKind::cost_aware_victim}) {
+    SCOPED_TRACE(policy_kind_name(policy));
+    Rng trace_rng(2026);
+    const auto trace = wl::make_priority_mix_trace(mix, 18, trace_rng);
+
+    const ServeConfig reference_config = determinism_config(policy);
+    ServeEngine reference(reference_config);
+    reference.submit_trace(trace);
+    reference.run();
+    EXPECT_GT(reference.metrics().preemptions, 0u);
+
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(threads);
+      ServeConfig config = determinism_config(policy);
+      config.threads = threads;
+      config.pipeline = true;
+      ServeEngine pipelined(config);
+      pipelined.submit_trace(trace);
+      pipelined.run();
+      expect_runs_identical(reference, pipelined);
+    }
+  }
+}
+
+// Sharded replay reconciliation at the engine level: with channel queues deep
+// enough that no queue-full stall occurs, the per-channel replay is
+// cycle-exact vs. the serial tick loop — so the whole run, latency samples
+// and per-request dram_cycles included, bit-matches. Also crossed with the
+// pipelined executor (the bench's fast configuration).
+TEST(ServeEngineDeterminism, ShardedReplayMatchesSerialWithoutInterference) {
+  wl::PriorityMixParams mix;
+  mix.arrivals.rate = 0.9;
+  for (auto& m : mix.mix) {
+    m.prompt_min = 4;
+    m.prompt_max = 24;
+    m.decode_min = 8;
+    m.decode_max = 24;
+  }
+  Rng trace_rng(2026);
+  const auto trace = wl::make_priority_mix_trace(mix, 18, trace_rng);
+
+  ServeConfig base = determinism_config(PolicyKind::cost_aware_victim);
+  // No-interference condition: at most max_batch (6) transfers stream per
+  // cycle across 8 channels, so a 64-deep queue never fills and the sharded
+  // model's cycle contract applies exactly.
+  base.dram.queue_depth = 64;
+  ServeEngine serial(base);
+  serial.submit_trace(trace);
+  serial.run();
+
+  ServeConfig sharded_config = base;
+  sharded_config.shard_replay = true;
+  ServeEngine sharded(sharded_config);
+  sharded.submit_trace(trace);
+  sharded.run();
+  expect_runs_identical(serial, sharded);
+
+  ServeConfig piped_config = sharded_config;
+  piped_config.pipeline = true;
+  piped_config.threads = 8;
+  ServeEngine piped(piped_config);
+  piped.submit_trace(trace);
+  piped.run();
+  expect_runs_identical(serial, piped);
+}
+
 }  // namespace
 }  // namespace topick::serve
