@@ -21,13 +21,16 @@
 // The harnesses must agree bit-for-bit on every output element (verified
 // every run, for every thread count); the speedup is pure hot-path mechanics.
 //
-// Emits BENCH_hotpath.json with the row_dot kernel name, a threads sweep,
-// and a full-engine --pipeline on|off comparison: the same Poisson trace
-// through the fork-join executor and the pipelined executor (sharded
-// channel replay on), outputs bit-checked, with before/after phase
-// attribution. `--smoke` runs a small context for CI; `--threads a,b,c`
-// overrides the sweep (default 1,2,8). The default scenario is the 2k
-// context the acceptance criteria target.
+// Emits BENCH_hotpath.json with the runtime-selected kernel ISA (plus
+// whether TOPICK_FORCE_ISA forced it — forced numbers must never read as a
+// host's natural selection), a threads sweep, and a full-engine --pipeline
+// on|off comparison: the same Poisson trace through the fork-join executor
+// and the pipelined executor (sharded channel replay on), outputs
+// bit-checked, with before/after phase attribution. `--smoke` runs a small
+// context for CI; `--threads a,b,c` overrides the sweep (default 1,2,8);
+// `--isa-levels` prints the kernel levels this binary + CPU can run (one
+// per line, for CI forced-ISA matrix loops) and exits. The default scenario
+// is the 2k context the acceptance criteria target.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -45,6 +48,7 @@
 #include "core/quantized_kv_cache.h"
 #include "core/token_picker.h"
 #include "fixedpoint/chunks.h"
+#include "fixedpoint/dispatch.h"
 #include "fixedpoint/margin.h"
 #include "obs/phase_stats.h"
 #include "obs/trace.h"
@@ -509,6 +513,9 @@ bool write_engine_trace(bool smoke, std::size_t threads,
                         const std::string& trace_path) {
   serve::ServeConfig config = engine_config(threads, /*pipeline=*/true);
   obs::TraceRecorder recorder;
+  recorder.set_metadata("kernel_isa", fx::kernel_isa_name());
+  recorder.set_metadata("kernel_isa_forced",
+                        fx::kernel_isa_forced() ? "true" : "false");
   config.trace = &recorder;
   {
     serve::ServeEngine engine(config);
@@ -600,6 +607,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--isa-levels") == 0) {
+      // The compiled-in kernel levels this CPU can run, one per line — the
+      // CI forced-ISA matrix iterates exactly these (forcing a level the
+      // runner doesn't support would be ignored, wasting a matrix leg).
+      for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+        std::printf("%s\n", table->name);
+      }
+      return 0;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
@@ -631,10 +646,11 @@ int main(int argc, char** argv) {
 
   const wl::DecodeStream stream = make_stream(scenario);
   std::printf("bench_hotpath: context %zu (prompt %zu + decode %zu), "
-              "%d layers x %d heads, head_dim %d, row_dot kernel %s%s\n",
+              "%d layers x %d heads, head_dim %d, kernel isa %s%s%s\n",
               scenario.prompt_len + scenario.decode_len, scenario.prompt_len,
               scenario.decode_len, scenario.n_layer, scenario.n_head,
-              scenario.head_dim, row_dot_kernel_name(),
+              scenario.head_dim, fx::kernel_isa_name(),
+              fx::kernel_isa_forced() ? " (forced)" : " (runtime probe)",
               smoke ? " [smoke]" : "");
 
   // Warm-up + best-of-N (wall clock; take the fastest run of each harness so
@@ -746,7 +762,14 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"n_layer\": %d,\n  \"n_head\": %d,\n"
                "  \"head_dim\": %d,\n",
                scenario.n_layer, scenario.n_head, scenario.head_dim);
+  // kernel_isa is what the runtime probe (or a forced override) actually
+  // selected; row_dot_kernel is kept as an alias for consumers of the older
+  // schema. kernel_isa_forced distinguishes CI matrix legs from a host's
+  // natural selection when comparing archived numbers.
   std::fprintf(out, "  \"row_dot_kernel\": \"%s\",\n", row_dot_kernel_name());
+  std::fprintf(out, "  \"kernel_isa\": \"%s\",\n", fx::kernel_isa_name());
+  std::fprintf(out, "  \"kernel_isa_forced\": %s,\n",
+               fx::kernel_isa_forced() ? "true" : "false");
   // Overlap headroom context: with 1 hardware thread the pools run inline
   // and the lane shares the core, so pipelined speedup reflects scheduling
   // overhead only; real overlap needs >= 2.

@@ -7,15 +7,10 @@
 #include <mutex>
 #include <utility>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#elif defined(__ARM_NEON)
-#include <arm_neon.h>
-#endif
-
 #include "common/expsum.h"
 #include "common/require.h"
 #include "fixedpoint/chunks.h"
+#include "fixedpoint/dispatch.h"
 
 namespace topick {
 
@@ -29,31 +24,10 @@ float scale_for_amax(float amax, int total_bits) {
   return amax / qmax;
 }
 
-float row_amax(std::span<const float> xs) {
-#if defined(__AVX2__)
-  // max over |x| is order-independent (no rounding), so the vector reduction
-  // is exact.
-  const float* data = xs.data();
-  std::size_t i = 0;
-  __m256 vmax = _mm256_setzero_ps();
-  const __m256 abs_mask =
-      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
-  for (; i + 8 <= xs.size(); i += 8) {
-    vmax = _mm256_max_ps(vmax,
-                         _mm256_and_ps(_mm256_loadu_ps(data + i), abs_mask));
-  }
-  alignas(32) float lanes[8];
-  _mm256_store_ps(lanes, vmax);
-  float amax = 0.0f;
-  for (const float lane : lanes) amax = std::max(amax, lane);
-  for (; i < xs.size(); ++i) amax = std::max(amax, std::abs(data[i]));
-  return amax;
-#else
-  float amax = 0.0f;
-  for (float x : xs) amax = std::max(amax, std::abs(x));
-  return amax;
-#endif
-}
+// Dispatched max|x| reduction; every registry variant is exact (max has no
+// rounding), so the running maxima — and therefore the scales — do not
+// depend on the selected ISA.
+float row_amax(std::span<const float> xs) { return fx::row_amax(xs); }
 
 // fx::quantize's element math exactly — it IS fx::quantize_row_i16, the one
 // shared round/saturate kernel (see fixedpoint/quant.h).
@@ -64,60 +38,8 @@ void quantize_row(std::span<const float> xs, const fx::QuantParams& params,
 
 }  // namespace
 
-std::int64_t row_dot_i64_scalar(const std::int16_t* a, const std::int16_t* b,
-                                std::size_t n) {
-  std::int64_t acc = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
-  }
-  return acc;
-}
-
-#if defined(__AVX2__)
-const char* row_dot_kernel_name() { return "avx2"; }
-#elif defined(__ARM_NEON)
-const char* row_dot_kernel_name() { return "neon"; }
-#else
-const char* row_dot_kernel_name() { return "portable"; }
-#endif
-
-void weighted_value_accum_scalar(float* out, const std::int16_t* v, double p,
-                                 double v_scale, std::size_t n) {
-  for (std::size_t d = 0; d < n; ++d) {
-    out[d] += static_cast<float>(p * static_cast<double>(v[d]) * v_scale);
-  }
-}
-
-#if defined(__AVX2__)
-
-void weighted_value_accum(float* out, const std::int16_t* v, double p,
-                          double v_scale, std::size_t n) {
-  // Four lanes of exactly the scalar op sequence: (p * double(v)) * v_scale
-  // in double, round to float (cvtpd_ps == static_cast), float add.
-  const __m256d vp = _mm256_set1_pd(p);
-  const __m256d vs = _mm256_set1_pd(v_scale);
-  std::size_t d = 0;
-  for (; d + 4 <= n; d += 4) {
-    const __m128i vi16 =
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(v + d));
-    const __m256d vd = _mm256_cvtepi32_pd(_mm_cvtepi16_epi32(vi16));
-    const __m256d prod = _mm256_mul_pd(_mm256_mul_pd(vp, vd), vs);
-    const __m128 add = _mm256_cvtpd_ps(prod);
-    _mm_storeu_ps(out + d, _mm_add_ps(_mm_loadu_ps(out + d), add));
-  }
-  for (; d < n; ++d) {
-    out[d] += static_cast<float>(p * static_cast<double>(v[d]) * v_scale);
-  }
-}
-
-#else
-
-void weighted_value_accum(float* out, const std::int16_t* v, double p,
-                          double v_scale, std::size_t n) {
-  weighted_value_accum_scalar(out, v, p, v_scale, n);
-}
-
-#endif
+// The runtime-selected kernel table's name (probe or TOPICK_FORCE_ISA).
+const char* row_dot_kernel_name() { return fx::kernel_isa_name(); }
 
 // ---- QuantizedKvStore -------------------------------------------------------
 

@@ -27,13 +27,8 @@
 #include <span>
 #include <vector>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#elif defined(__ARM_NEON)
-#include <arm_neon.h>
-#endif
-
 #include "core/exact_attention.h"
+#include "fixedpoint/dispatch.h"
 #include "fixedpoint/quant.h"
 #include "model/kv_cache.h"
 
@@ -62,123 +57,63 @@ struct QuantizedKvView {
 };
 
 // Contiguous int16 dot product (int64 accumulator) — the plane-walk kernel,
-// the top kernel of the decode hot path. row_dot_i64 dispatches at compile
-// time to an AVX2 or NEON implementation when one is enabled (build with
-// -DTOPICK_NATIVE_ARCH=ON, which adds -march=native) and to a portable
-// unrolled loop otherwise. Integer dot products have one right answer, so
-// every path is element-exact against row_dot_i64_scalar — SIMD cannot
-// change any pruning decision (tests/parallel_test.cpp pins this over
-// adversarial int16 extremes and odd remainders). The one excluded input:
-// the AVX2 path relies on _mm256_madd_epi16, whose pairwise int32 sum wraps
-// only when both multiplied pairs are exactly (-32768, -32768) — values
-// quantize() can never produce (|q| < 2^14 for total_bits <= 15).
-// Header-inline: it is called once per (token, chunk) and the call overhead
-// is measurable at that rate.
-#if defined(__AVX2__)
-
+// the top kernel of the decode hot path. row_dot_i64 dispatches at RUNTIME
+// through the fixedpoint registry (fixedpoint/dispatch.h): every ISA variant
+// is compiled into the binary from its own translation unit and a one-time
+// CPU probe picks the fastest one the machine supports, so one portable
+// binary gets AVX2/AVX-512 speed without -march=native. Integer dot products
+// have one right answer, so every variant is element-exact against
+// row_dot_i64_scalar — the selected ISA cannot change any pruning decision
+// (tests/dispatch_test.cpp pins this over adversarial int16 extremes and odd
+// remainders at every compiled-in level). Header-inline wrapper: it is
+// called once per (token, chunk); tiny rows take the inlined scalar loop
+// (same bits) rather than paying the indirect call.
 inline std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
                                 std::size_t n) {
-  // 16 int16 lanes per iteration: madd multiplies int16 pairs and sums
-  // adjacent products into 8 exact int32 lanes (see above for the one
-  // unreachable wrap case), which are widened to int64 before accumulating —
-  // so the accumulator is full-width everywhere, like the scalar reference.
-  __m256i acc = _mm256_setzero_si256();  // 4 x int64
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
-    const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
-    const __m256i pair_sums = _mm256_madd_epi16(va, vb);  // 8 x int32
-    acc = _mm256_add_epi64(
-        acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(pair_sums)));
-    acc = _mm256_add_epi64(
-        acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(pair_sums, 1)));
+  if (n < 16) {
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+    }
+    return acc;
   }
-  if (i + 8 <= n) {
-    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
-    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
-    const __m128i pair_sums = _mm_madd_epi16(va, vb);  // 4 x int32
-    acc = _mm256_add_epi64(acc, _mm256_cvtepi32_epi64(pair_sums));
-    i += 8;
-  }
-  alignas(32) std::int64_t lanes[4];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
-  std::int64_t sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-  for (; i < n; ++i) {
-    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
-  }
-  return sum;
+  return fx::active_kernels().row_dot_i64(a, b, n);
 }
 
-#elif defined(__ARM_NEON)
-
-inline std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
-                                std::size_t n) {
-  // vmull widens int16 products to exact int32; vpadal folds them pairwise
-  // into int64 accumulators. Exact for every int16 input.
-  int64x2_t acc = vdupq_n_s64(0);
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const int16x8_t va = vld1q_s16(a + i);
-    const int16x8_t vb = vld1q_s16(b + i);
-    acc = vpadalq_s32(acc, vmull_s16(vget_low_s16(va), vget_low_s16(vb)));
-    acc = vpadalq_s32(acc, vmull_s16(vget_high_s16(va), vget_high_s16(vb)));
-  }
-  std::int64_t sum = vgetq_lane_s64(acc, 0) + vgetq_lane_s64(acc, 1);
-  for (; i < n; ++i) {
-    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
-  }
-  return sum;
-}
-
-#else
-
-inline std::int64_t row_dot_i64(const std::int16_t* a, const std::int16_t* b,
-                                std::size_t n) {
-  // Four independent accumulator chains so the compiler's auto-vectorizer
-  // (and out-of-order hardware) isn't serialized on one add chain.
-  std::int64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
-    acc1 += static_cast<std::int32_t>(a[i + 1]) *
-            static_cast<std::int32_t>(b[i + 1]);
-    acc2 += static_cast<std::int32_t>(a[i + 2]) *
-            static_cast<std::int32_t>(b[i + 2]);
-    acc3 += static_cast<std::int32_t>(a[i + 3]) *
-            static_cast<std::int32_t>(b[i + 3]);
-  }
-  std::int64_t sum = (acc0 + acc1) + (acc2 + acc3);
-  for (; i < n; ++i) {
-    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
-  }
-  return sum;
-}
-
-#endif
 // The scalar reference implementation (always compiled; the equivalence
-// oracle for the SIMD paths).
-std::int64_t row_dot_i64_scalar(const std::int16_t* a, const std::int16_t* b,
-                                std::size_t n);
+// oracle for the SIMD variants). Lives in fx:: with the registry; forwarded
+// here for the existing call sites and tests.
+inline std::int64_t row_dot_i64_scalar(const std::int16_t* a,
+                                       const std::int16_t* b, std::size_t n) {
+  return fx::row_dot_i64_scalar(a, b, n);
+}
 
 // out[d] += float(p * double(v[d]) * v_scale) for d in [0, n): the
-// survivor-weighted V accumulation of the softmax output. The AVX2 path
-// performs exactly the scalar op sequence in each lane (double mul, double
-// mul, round-to-float, float add), so it is bit-identical to the scalar
-// loop — proven against weighted_value_accum_scalar in
-// tests/parallel_test.cpp.
-void weighted_value_accum(float* out, const std::int16_t* v, double p,
-                          double v_scale, std::size_t n);
-void weighted_value_accum_scalar(float* out, const std::int16_t* v, double p,
-                                 double v_scale, std::size_t n);
+// survivor-weighted V accumulation of the softmax output. Dispatches like
+// row_dot_i64; every SIMD variant performs exactly the scalar op sequence in
+// each lane (double mul, double mul, round-to-float, float add), so it is
+// bit-identical to the scalar loop — proven against
+// weighted_value_accum_scalar in tests/dispatch_test.cpp per variant.
+inline void weighted_value_accum(float* out, const std::int16_t* v, double p,
+                                 double v_scale, std::size_t n) {
+  if (n < 8) {
+    fx::weighted_value_accum_scalar(out, v, p, v_scale, n);
+    return;
+  }
+  fx::active_kernels().weighted_value_accum(out, v, p, v_scale, n);
+}
+inline void weighted_value_accum_scalar(float* out, const std::int16_t* v,
+                                        double p, double v_scale,
+                                        std::size_t n) {
+  fx::weighted_value_accum_scalar(out, v, p, v_scale, n);
+}
 
 // Row quantization lives in fx::quantize_row_i16 (fixedpoint/quant.h) — the
 // single implementation of the element math shared by fx::quantize_into and
 // the cache's append/requantize paths (the prompt-prefill hot kernel).
-// Which row_dot_i64 implementation this build selected: "avx2", "neon", or
-// "portable" (recorded in BENCH_hotpath.json so archived numbers are
-// attributable to a kernel).
+// Which kernel table the runtime probe (or TOPICK_FORCE_ISA) selected:
+// "scalar", "sse41", "avx2", "avx512", or "neon" (recorded in
+// BENCH_hotpath.json so archived numbers are attributable to a kernel).
 const char* row_dot_kernel_name();
 
 // Owning chunk-planar storage for already-quantized rows. QuantizedKvCache

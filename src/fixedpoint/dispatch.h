@@ -1,0 +1,124 @@
+// Runtime ISA dispatch for the four decode hot kernels (ROADMAP item 2).
+//
+// PR 5 selected the SIMD kernels at *compile* time (`-march=native` behind
+// TOPICK_NATIVE_ARCH), which no distributable binary can require and which
+// made cross-host BENCH_hotpath.json numbers incomparable. This registry
+// adopts the rapidyenc pattern instead: every ISA variant is compiled into
+// the same binary from its own translation unit (built with per-file arch
+// flags, so the base build stays portable), a one-time CPU probe fills a
+// function-pointer table at startup, and every call site reaches the fastest
+// variant the running machine supports through that table.
+//
+// The contract from PR 5 is unchanged and now enforced *per variant*: every
+// entry in every table is element-exact against the scalar reference, so the
+// selected ISA can never change a quantization, score, pruning decision, or
+// output bit — only speed. tests/dispatch_test.cpp loops the equivalence
+// suite over every compiled-in variant and runs the serve determinism suite
+// at a forced non-default level.
+//
+// Selection order: the probe picks the highest compiled-in level the CPU
+// supports. `TOPICK_FORCE_ISA=<scalar|sse41|avx2|avx512|neon>` overrides it
+// (for CI matrices and debugging); a forced level that is not compiled in or
+// not supported by the CPU is ignored with a stderr note rather than
+// crashing on an illegal instruction. `force_isa()` is the same override as
+// a test hook.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "fixedpoint/quant.h"
+
+namespace topick::fx {
+
+// Ascending preference within an architecture family. x86 probes never
+// report neon and vice versa, so the cross-family ordering is irrelevant.
+enum class IsaLevel : int {
+  scalar = 0,
+  sse41 = 1,
+  avx2 = 2,
+  avx512 = 3,
+  neon = 4,
+};
+
+const char* isa_name(IsaLevel level);
+
+// One ISA variant of the four hot kernels. All entries are element-exact
+// against the scalar references below (the registry's invariant).
+struct KernelTable {
+  IsaLevel level = IsaLevel::scalar;
+  const char* name = "scalar";
+  std::int64_t (*row_dot_i64)(const std::int16_t* a, const std::int16_t* b,
+                              std::size_t n) = nullptr;
+  void (*weighted_value_accum)(float* out, const std::int16_t* v, double p,
+                               double v_scale, std::size_t n) = nullptr;
+  void (*quantize_row_i16)(const float* xs, std::size_t n,
+                           const QuantParams& params,
+                           std::int16_t* out) = nullptr;
+  float (*row_amax)(const float* xs, std::size_t n) = nullptr;
+};
+
+// Scalar reference kernels (always compiled, portable TU — the equivalence
+// oracle every variant is tested against). quantize_row_i16_scalar is
+// declared in quant.h alongside its element-math documentation.
+std::int64_t row_dot_i64_scalar(const std::int16_t* a, const std::int16_t* b,
+                                std::size_t n);
+void weighted_value_accum_scalar(float* out, const std::int16_t* v, double p,
+                                 double v_scale, std::size_t n);
+// max over |x|; NaN elements are skipped exactly like the scalar
+// std::max(amax, std::abs(x)) fold (every SIMD variant matches this, pinned
+// by tests/dispatch_test.cpp).
+float row_amax_scalar(const float* xs, std::size_t n);
+
+// Every variant compiled into this binary, ascending by level (scalar is
+// always first). A variant whose per-file arch flags the compiler rejected
+// at configure time is simply absent.
+std::span<const KernelTable* const> compiled_kernel_tables();
+// The compiled variants the *running* CPU supports — the forced-level test
+// matrix iterates these (forcing an unsupported level would SIGILL).
+std::span<const KernelTable* const> supported_kernel_tables();
+
+// Which variant the one-time probe (or an override) selected.
+IsaLevel kernel_isa_level();
+const char* kernel_isa_name();
+// True when the selection came from TOPICK_FORCE_ISA or force_isa() rather
+// than the probe — recorded in BENCH_hotpath.json so archived numbers from
+// forced runs are never mistaken for the host's natural selection.
+bool kernel_isa_forced();
+
+// Test/CI hook: select a specific compiled-in, CPU-supported variant.
+// Returns false (selection unchanged) otherwise. reset_isa() re-runs the
+// startup selection (probe + TOPICK_FORCE_ISA).
+bool force_isa(IsaLevel level);
+bool force_isa(const char* name);
+void reset_isa();
+
+namespace detail {
+extern std::atomic<const KernelTable*> g_active;
+const KernelTable* init_active();
+}  // namespace detail
+
+// The active table. First call (from any thread) runs the probe; later
+// calls are one acquire load — cheap enough for per-row call sites, and the
+// per-element call sites add an inlined scalar fast path on top (see
+// core/quantized_kv_cache.h).
+inline const KernelTable& active_kernels() {
+  const KernelTable* table =
+      detail::g_active.load(std::memory_order_acquire);
+  return *(table != nullptr ? table : detail::init_active());
+}
+
+// Dispatched max|x| reduction (exact: no rounding, order-independent; the
+// append-path row maxima and choose_scale both ride on it). Tiny rows skip
+// the table — the scalar fold is the same bits.
+inline float row_amax(const float* xs, std::size_t n) {
+  if (n < 8) return row_amax_scalar(xs, n);
+  return active_kernels().row_amax(xs, n);
+}
+inline float row_amax(std::span<const float> xs) {
+  return row_amax(xs.data(), xs.size());
+}
+
+}  // namespace topick::fx

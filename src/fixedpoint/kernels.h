@@ -1,0 +1,22 @@
+// Internal registry plumbing: per-ISA table getters, one per translation
+// unit in src/fixedpoint/kernels_*.cpp. Each TU is compiled with its own
+// arch flags (see CMakeLists.txt) and is self-guarded on the matching
+// predefined macros, so a TU whose flags the toolchain rejected compiles to
+// an empty object and its getter is never referenced: dispatch.cpp includes
+// a getter only when the configure step defined the corresponding
+// TOPICK_HAVE_KERNELS_* macro (NEON gates on __ARM_NEON directly — it is
+// baseline on aarch64). Nothing outside dispatch.cpp and the kernel TUs
+// should include this header; the public surface is fixedpoint/dispatch.h.
+#pragma once
+
+#include "fixedpoint/dispatch.h"
+
+namespace topick::fx::detail {
+
+const KernelTable& scalar_kernels();  // always compiled (portable C++)
+const KernelTable& sse41_kernels();   // TOPICK_HAVE_KERNELS_SSE41
+const KernelTable& avx2_kernels();    // TOPICK_HAVE_KERNELS_AVX2
+const KernelTable& avx512_kernels();  // TOPICK_HAVE_KERNELS_AVX512
+const KernelTable& neon_kernels();    // __ARM_NEON
+
+}  // namespace topick::fx::detail

@@ -1,0 +1,135 @@
+// SSE4.1 kernel variants — 128-bit lanes, element-exact vs the scalar
+// references (see kernels_scalar.cpp for the contract each function mirrors
+// per lane). This TU is compiled with -msse4.1 (CMakeLists.txt per-file
+// flags); on non-x86 toolchains, or when the flag probe failed, the guard
+// below turns it into an empty object and the registry never references it.
+#if defined(__SSE4_1__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <smmintrin.h>
+
+#include "fixedpoint/kernels.h"
+
+namespace topick::fx::detail {
+namespace {
+
+std::int64_t row_dot_i64_sse41(const std::int16_t* a, const std::int16_t* b,
+                               std::size_t n) {
+  // 8 int16 lanes per iteration: madd multiplies int16 pairs and sums
+  // adjacent products into 4 exact int32 lanes (the pairwise sum wraps only
+  // when both multiplied pairs are exactly (-32768, -32768) — values
+  // quantize() can never produce, |q| < 2^14 for total_bits <= 15), which
+  // are widened to int64 before accumulating — full-width like the scalar
+  // reference.
+  __m128i acc = _mm_setzero_si128();  // 2 x int64
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i pair_sums = _mm_madd_epi16(va, vb);  // 4 x int32
+    acc = _mm_add_epi64(acc, _mm_cvtepi32_epi64(pair_sums));
+    acc = _mm_add_epi64(acc, _mm_cvtepi32_epi64(_mm_srli_si128(pair_sums, 8)));
+  }
+  alignas(16) std::int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::int64_t sum = lanes[0] + lanes[1];
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void weighted_value_accum_sse41(float* out, const std::int16_t* v, double p,
+                                double v_scale, std::size_t n) {
+  // Four lanes of exactly the scalar op sequence: (p * double(v)) * v_scale
+  // in double, round to float (cvtpd_ps == static_cast), float add.
+  const __m128d vp = _mm_set1_pd(p);
+  const __m128d vs = _mm_set1_pd(v_scale);
+  std::size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    const __m128i vi16 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(v + d));
+    const __m128i vi32 = _mm_cvtepi16_epi32(vi16);  // 4 x int32
+    const __m128d dlo = _mm_cvtepi32_pd(vi32);
+    const __m128d dhi = _mm_cvtepi32_pd(_mm_srli_si128(vi32, 8));
+    const __m128d prod_lo = _mm_mul_pd(_mm_mul_pd(vp, dlo), vs);
+    const __m128d prod_hi = _mm_mul_pd(_mm_mul_pd(vp, dhi), vs);
+    const __m128 add =
+        _mm_movelh_ps(_mm_cvtpd_ps(prod_lo), _mm_cvtpd_ps(prod_hi));
+    _mm_storeu_ps(out + d, _mm_add_ps(_mm_loadu_ps(out + d), add));
+  }
+  for (; d < n; ++d) {
+    out[d] += static_cast<float>(p * static_cast<double>(v[d]) * v_scale);
+  }
+}
+
+void quantize_row_i16_sse41(const float* xs, std::size_t n,
+                            const QuantParams& params, std::int16_t* out) {
+  // The AVX2 algorithm at 128-bit width (see kernels_avx2.cpp for the
+  // exactness argument): IEEE lane divide, lround emulated as
+  // trunc(d ± 0.5) in double (exact for float-promoted d), float-domain
+  // saturation in the scalar branch order.
+  const __m128 scale = _mm_set1_ps(params.scale);
+  const __m128 fmax = _mm_set1_ps(static_cast<float>(params.qmax()));
+  const __m128 fmin = _mm_set1_ps(static_cast<float>(params.qmin()));
+  const __m128i qmax = _mm_set1_epi32(params.qmax());
+  const __m128i qmin = _mm_set1_epi32(params.qmin());
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d sign_mask = _mm_set1_pd(-0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 ratio = _mm_div_ps(_mm_loadu_ps(xs + i), scale);
+    const __m128d dlo = _mm_cvtps_pd(ratio);
+    const __m128d dhi = _mm_cvtps_pd(_mm_movehl_ps(ratio, ratio));
+    const __m128d half_lo = _mm_or_pd(half, _mm_and_pd(dlo, sign_mask));
+    const __m128d half_hi = _mm_or_pd(half, _mm_and_pd(dhi, sign_mask));
+    const __m128i rlo = _mm_cvttpd_epi32(_mm_add_pd(dlo, half_lo));
+    const __m128i rhi = _mm_cvttpd_epi32(_mm_add_pd(dhi, half_hi));
+    __m128i q = _mm_unpacklo_epi64(rlo, rhi);  // 4 x int32, in order
+    // cmpge/cmple are ordered compares: NaN lanes take neither, like the
+    // scalar else-branch.
+    const __m128 ge = _mm_cmpge_ps(ratio, fmax);
+    const __m128 le = _mm_cmple_ps(ratio, fmin);
+    q = _mm_blendv_epi8(q, qmax, _mm_castps_si128(ge));
+    q = _mm_blendv_epi8(q, qmin, _mm_castps_si128(le));
+    const __m128i packed = _mm_packs_epi32(q, q);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), packed);
+  }
+  if (i < n) quantize_row_i16_scalar(xs + i, n - i, params, out + i);
+}
+
+float row_amax_sse41(const float* xs, std::size_t n) {
+  // max over |x| is order-independent (no rounding), so the vector reduction
+  // is exact. Operand order matters for NaN: maxps returns its SECOND
+  // operand when either is NaN, so the running max goes second — a NaN
+  // element keeps the running max, exactly the scalar skip.
+  const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+  __m128 vmax = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vmax = _mm_max_ps(_mm_and_ps(_mm_loadu_ps(xs + i), abs_mask), vmax);
+  }
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, vmax);
+  float amax = 0.0f;
+  for (const float lane : lanes) amax = amax < lane ? lane : amax;
+  for (; i < n; ++i) {
+    const float a = xs[i] < 0.0f ? -xs[i] : xs[i];
+    amax = amax < a ? a : amax;
+  }
+  return amax;
+}
+
+}  // namespace
+
+const KernelTable& sse41_kernels() {
+  static constexpr KernelTable table = {
+      IsaLevel::sse41,       "sse41",
+      row_dot_i64_sse41,     weighted_value_accum_sse41,
+      quantize_row_i16_sse41, row_amax_sse41,
+  };
+  return table;
+}
+
+}  // namespace topick::fx::detail
+
+#endif  // __SSE4_1__ && x86

@@ -1,19 +1,14 @@
 #include "fixedpoint/quant.h"
 
-#include <algorithm>
-#include <cmath>
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
-
 #include "common/require.h"
+#include "fixedpoint/dispatch.h"
 
 namespace topick::fx {
 
 float choose_scale(std::span<const float> xs, int total_bits) {
-  float amax = 0.0f;
-  for (float x : xs) amax = std::max(amax, std::abs(x));
+  // row_amax dispatches to the active ISA table; every variant is exact
+  // (max has no rounding), so the scale is independent of the selection.
+  const float amax = row_amax(xs);
   if (amax == 0.0f) return 1.0f;
   const auto qmax = static_cast<float>((1 << (total_bits - 1)) - 1);
   return amax / qmax;
@@ -38,77 +33,18 @@ void quantize_into(std::span<const float> xs, const QuantParams& params,
   quantize_row_i16(xs.data(), xs.size(), params, out->values.data());
 }
 
-// The scalar reference: see the narrowing-bug note in quant.h — the clamp
-// runs in the float domain BEFORE lround so extreme ratios saturate, and
-// lround is never handed a value outside long range (where its result is
-// unspecified). For every in-range ratio the result is bit-identical to the
-// historical path (tests/fixedpoint_test.cpp pins the extremes).
-void quantize_row_i16_scalar(const float* xs, std::size_t n,
-                             const QuantParams& params, std::int16_t* out) {
-  const auto fmax = static_cast<float>(params.qmax());
-  const auto fmin = static_cast<float>(params.qmin());
-  for (std::size_t i = 0; i < n; ++i) {
-    const float ratio = xs[i] / params.scale;
-    if (ratio >= fmax) {
-      out[i] = static_cast<std::int16_t>(params.qmax());
-    } else if (ratio <= fmin) {
-      out[i] = static_cast<std::int16_t>(params.qmin());
-    } else {
-      out[i] = static_cast<std::int16_t>(std::lround(ratio));
-    }
-  }
-}
-
-#if defined(__AVX2__)
-
+// The scalar reference implementation lives in kernels_scalar.cpp (the
+// element math is the registry's oracle); this wrapper dispatches to the
+// active ISA variant. Tiny rows skip the table — for n < 8 no variant has a
+// full vector of work and the scalar loop is the same bits anyway.
 void quantize_row_i16(const float* xs, std::size_t n,
                       const QuantParams& params, std::int16_t* out) {
-  const __m256 scale = _mm256_set1_ps(params.scale);
-  const __m256 fmax = _mm256_set1_ps(static_cast<float>(params.qmax()));
-  const __m256 fmin = _mm256_set1_ps(static_cast<float>(params.qmin()));
-  const __m256i qmax = _mm256_set1_epi32(params.qmax());
-  const __m256i qmin = _mm256_set1_epi32(params.qmin());
-  const __m256d half = _mm256_set1_pd(0.5);
-  const __m256d sign_mask = _mm256_set1_pd(-0.0);
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256 ratio = _mm256_div_ps(_mm256_loadu_ps(xs + i), scale);
-    // lround(double(r)) for in-range lanes: d ± 0.5 is exact for a
-    // float-promoted d, so truncation yields round-half-away-from-zero —
-    // identical to the scalar lround (see the header note).
-    const __m128 lo = _mm256_castps256_ps128(ratio);
-    const __m128 hi = _mm256_extractf128_ps(ratio, 1);
-    const __m256d dlo = _mm256_cvtps_pd(lo);
-    const __m256d dhi = _mm256_cvtps_pd(hi);
-    const __m256d half_lo = _mm256_or_pd(half, _mm256_and_pd(dlo, sign_mask));
-    const __m256d half_hi = _mm256_or_pd(half, _mm256_and_pd(dhi, sign_mask));
-    const __m128i rlo = _mm256_cvttpd_epi32(_mm256_add_pd(dlo, half_lo));
-    const __m128i rhi = _mm256_cvttpd_epi32(_mm256_add_pd(dhi, half_hi));
-    __m256i q = _mm256_insertf128_si256(_mm256_castsi128_si256(rlo), rhi, 1);
-    // Saturation branches, exactly the scalar order: ratio >= qmax wins,
-    // then ratio <= qmin (NaN lanes take neither compare, like the scalar
-    // else-branch).
-    const __m256 ge = _mm256_cmp_ps(ratio, fmax, _CMP_GE_OQ);
-    const __m256 le = _mm256_cmp_ps(ratio, fmin, _CMP_LE_OQ);
-    q = _mm256_blendv_epi8(q, qmax, _mm256_castps_si256(ge));
-    q = _mm256_blendv_epi8(q, qmin, _mm256_castps_si256(le));
-    // Lanes are within int16 range after saturation; pack preserves order
-    // within each 128-bit half when both halves come from the same vector.
-    const __m128i packed = _mm_packs_epi32(_mm256_castsi256_si128(q),
-                                           _mm256_extracti128_si256(q, 1));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), packed);
+  if (n < 8) {
+    quantize_row_i16_scalar(xs, n, params, out);
+    return;
   }
-  if (i < n) quantize_row_i16_scalar(xs + i, n - i, params, out + i);
+  active_kernels().quantize_row_i16(xs, n, params, out);
 }
-
-#else
-
-void quantize_row_i16(const float* xs, std::size_t n,
-                      const QuantParams& params, std::int16_t* out) {
-  quantize_row_i16_scalar(xs, n, params, out);
-}
-
-#endif
 
 QuantizedVector quantize_auto(std::span<const float> xs, int total_bits,
                               int chunk_bits) {

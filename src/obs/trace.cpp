@@ -178,7 +178,28 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
       first = false;
     }
   }
-  out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  out << "\n],\n\"displayTimeUnit\": \"ms\"";
+  if (!metadata_.empty()) {
+    out << ",\n\"otherData\": {";
+    bool first_md = true;
+    for (const auto& [key, value] : metadata_) {
+      out << (first_md ? "" : ", ") << '"' << key << "\": \"" << value << '"';
+      first_md = false;
+    }
+    out << "}";
+  }
+  out << "\n}\n";
+}
+
+void TraceRecorder::set_metadata(const std::string& key,
+                                 const std::string& value) {
+  for (auto& entry : metadata_) {
+    if (entry.first == key) {
+      entry.second = value;
+      return;
+    }
+  }
+  metadata_.emplace_back(key, value);
 }
 
 bool TraceRecorder::write_chrome_json_file(const std::string& path,

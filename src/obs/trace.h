@@ -36,6 +36,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace topick::obs {
@@ -115,6 +116,16 @@ class TraceRecorder {
     return *buffers_[track];
   }
 
+  // Run-level metadata exported as the top-level "otherData" object (the
+  // trace-event format's side channel; Perfetto shows it in trace info).
+  // Used for attribution that applies to the whole trace — e.g. which kernel
+  // ISA the runtime dispatch selected. NOT thread-safe: set before or after
+  // the recorded run, not during.
+  void set_metadata(const std::string& key, const std::string& value);
+  const std::vector<std::pair<std::string, std::string>>& metadata() const {
+    return metadata_;
+  }
+
   // Chrome trace-event JSON ("traceEvents" array form + metadata records).
   void write_chrome_json(std::ostream& out) const;
   // Returns false (with *error set) when the file cannot be written.
@@ -126,6 +137,7 @@ class TraceRecorder {
   // unique_ptr indirection: ensure_tracks growth never moves a buffer a
   // worker thread may be holding a reference to.
   std::vector<std::unique_ptr<std::vector<TraceEvent>>> buffers_;
+  std::vector<std::pair<std::string, std::string>> metadata_;
 };
 
 // RAII complete-span helper: stamps ts at construction, records an 'X' event

@@ -1,0 +1,304 @@
+// Runtime ISA dispatch suite (fixedpoint/dispatch.h).
+//
+// * Registry shape: scalar always present and first, levels strictly
+//   ascending, supported ⊆ compiled, the active table is supported.
+// * Forced-level matrix: for EVERY compiled-in variant this CPU can run,
+//   force it and assert the public entry points (row_dot_i64,
+//   weighted_value_accum, fx::quantize_row_i16, fx::row_amax,
+//   fx::choose_scale) are bit-identical to the scalar reference over
+//   randomized rows, odd remainders, ±32767 saturation extremes, and
+//   half-way rounding cases — the "selected ISA can never change a result"
+//   contract, per level.
+// * Kernel-edge regressions: NaN / signed-zero / infinity handling of
+//   row_amax (PR 5's AVX2 reduction let one NaN poison the running max —
+//   maxps returns its second operand on NaN, so operand order is load-
+//   bearing), pinned across every variant.
+// * Serve determinism: a full ServeEngine run at a forced non-default level
+//   is bit-identical to the scalar-forced run — outputs, token sets, and
+//   fleet metrics.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/quantized_kv_cache.h"
+#include "fixedpoint/dispatch.h"
+#include "fixedpoint/quant.h"
+#include "serve/serve_engine.h"
+#include "workload/arrivals.h"
+
+namespace topick {
+namespace {
+
+// Every test that forces a level must restore the startup selection even on
+// assertion failure — other suites in this binary read the active table.
+struct IsaGuard {
+  ~IsaGuard() { fx::reset_isa(); }
+};
+
+TEST(DispatchRegistry, ScalarIsAlwaysPresentAndFirst) {
+  const auto compiled = fx::compiled_kernel_tables();
+  ASSERT_FALSE(compiled.empty());
+  EXPECT_EQ(compiled.front()->level, fx::IsaLevel::scalar);
+  EXPECT_STREQ(compiled.front()->name, "scalar");
+  for (const fx::KernelTable* table : compiled) {
+    ASSERT_NE(table->row_dot_i64, nullptr) << table->name;
+    ASSERT_NE(table->weighted_value_accum, nullptr) << table->name;
+    ASSERT_NE(table->quantize_row_i16, nullptr) << table->name;
+    ASSERT_NE(table->row_amax, nullptr) << table->name;
+    EXPECT_STREQ(table->name, fx::isa_name(table->level));
+  }
+  for (std::size_t i = 1; i < compiled.size(); ++i) {
+    EXPECT_LT(static_cast<int>(compiled[i - 1]->level),
+              static_cast<int>(compiled[i]->level));
+  }
+}
+
+TEST(DispatchRegistry, SupportedIsSubsetOfCompiledAndContainsActive) {
+  const auto compiled = fx::compiled_kernel_tables();
+  const auto supported = fx::supported_kernel_tables();
+  ASSERT_FALSE(supported.empty());
+  EXPECT_EQ(supported.front()->level, fx::IsaLevel::scalar);
+  for (const fx::KernelTable* table : supported) {
+    bool in_compiled = false;
+    for (const fx::KernelTable* c : compiled) in_compiled |= (c == table);
+    EXPECT_TRUE(in_compiled) << table->name;
+  }
+  // The probe's natural pick is the highest supported level.
+  fx::reset_isa();
+  if (std::getenv("TOPICK_FORCE_ISA") == nullptr) {
+    EXPECT_EQ(fx::kernel_isa_level(), supported.back()->level);
+    EXPECT_FALSE(fx::kernel_isa_forced());
+  }
+  bool active_supported = false;
+  for (const fx::KernelTable* table : supported) {
+    active_supported |= (table->level == fx::kernel_isa_level());
+  }
+  EXPECT_TRUE(active_supported);
+}
+
+TEST(DispatchRegistry, ForceIsaRejectsUnknownAndUncompiledLevels) {
+  IsaGuard guard;
+  const char* before = fx::kernel_isa_name();
+  EXPECT_FALSE(fx::force_isa("mmx"));
+  EXPECT_FALSE(fx::force_isa(static_cast<const char*>(nullptr)));
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_FALSE(fx::force_isa(fx::IsaLevel::neon));
+#else
+  EXPECT_FALSE(fx::force_isa(fx::IsaLevel::avx2));
+#endif
+  EXPECT_STREQ(fx::kernel_isa_name(), before);  // selection unchanged
+
+  ASSERT_TRUE(fx::force_isa(fx::IsaLevel::scalar));
+  EXPECT_EQ(fx::kernel_isa_level(), fx::IsaLevel::scalar);
+  EXPECT_TRUE(fx::kernel_isa_forced());
+  fx::reset_isa();
+  if (std::getenv("TOPICK_FORCE_ISA") == nullptr) {
+    EXPECT_FALSE(fx::kernel_isa_forced());
+  }
+}
+
+// ---- forced-level matrix: public entry points vs scalar ---------------------
+
+TEST(DispatchForcedMatrix, EveryLevelBitMatchesScalarThroughPublicEntryPoints) {
+  IsaGuard guard;
+  Rng rng(0xd15b);
+  // Odd remainders around every vector width (4/8/16/32) and their
+  // half-vector steps, plus the tiny-row inlined fast paths (n < 8, n < 16).
+  const std::size_t lengths[] = {0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                                 31, 32, 33, 63, 64, 65, 96, 128, 257};
+  for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+    SCOPED_TRACE(table->name);
+    ASSERT_TRUE(fx::force_isa(table->level));
+    EXPECT_STREQ(fx::kernel_isa_name(), table->name);
+    EXPECT_TRUE(fx::kernel_isa_forced());
+
+    for (const std::size_t n : lengths) {
+      for (int trial = 0; trial < 12; ++trial) {
+        // row_dot over the quantized domain plus ±32767 saturation runs.
+        std::vector<std::int16_t> a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (trial % 4 == 0) {
+            a[i] = (i % 2 == 0) ? std::int16_t{32767} : std::int16_t{-32767};
+            b[i] = (i % 3 == 0) ? std::int16_t{-32767} : std::int16_t{32767};
+          } else {
+            a[i] = static_cast<std::int16_t>(
+                static_cast<int>(rng.uniform_index(4096)) - 2048);
+            b[i] = static_cast<std::int16_t>(
+                static_cast<int>(rng.uniform_index(4096)) - 2048);
+          }
+        }
+        EXPECT_EQ(row_dot_i64(a.data(), b.data(), n),
+                  row_dot_i64_scalar(a.data(), b.data(), n))
+            << "n=" << n;
+
+        // weighted_value_accum through the dispatching wrapper.
+        std::vector<float> out(n), ref(n);
+        for (std::size_t d = 0; d < n; ++d) {
+          out[d] = ref[d] = static_cast<float>(rng.normal());
+        }
+        const double p = rng.uniform();
+        const double v_scale = rng.uniform() * 0.01 + 1e-6;
+        weighted_value_accum(out.data(), a.data(), p, v_scale, n);
+        fx::weighted_value_accum_scalar(ref.data(), a.data(), p, v_scale, n);
+        EXPECT_EQ(out, ref) << "n=" << n;
+
+        // quantize through fx::quantize_row_i16, half-way and saturating
+        // inputs included (the ±32767-boundary regression pin).
+        fx::QuantParams params;
+        params.scale = trial % 2 == 0 ? 1.0f
+                                      : 0.25f + static_cast<float>(rng.uniform());
+        std::vector<float> xs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          switch (rng.uniform_index(4)) {
+            case 0:
+              xs[i] = (static_cast<float>(rng.uniform_index(4096)) - 2048.0f +
+                       0.5f) * params.scale;
+              break;
+            case 1:
+              xs[i] = (rng.uniform() < 0.5 ? 1.0f : -1.0f) *
+                      (3e9f + static_cast<float>(rng.normal()));
+              break;
+            default:
+              xs[i] = static_cast<float>(rng.normal() * 500.0);
+          }
+        }
+        std::vector<std::int16_t> got(n), want(n);
+        fx::quantize_row_i16(xs.data(), n, params, got.data());
+        fx::quantize_row_i16_scalar(xs.data(), n, params, want.data());
+        EXPECT_EQ(got, want) << "n=" << n << " scale=" << params.scale;
+
+        // row_amax + choose_scale (the scale decides every quantized bit).
+        EXPECT_EQ(fx::row_amax(xs.data(), n), fx::row_amax_scalar(xs.data(), n))
+            << "n=" << n;
+        if (n > 0) {
+          float sa = fx::row_amax_scalar(xs.data(), n);
+          float expected = sa == 0.0f ? 1.0f : sa / 2047.0f;
+          EXPECT_EQ(fx::choose_scale({xs.data(), n}), expected) << "n=" << n;
+        }
+      }
+    }
+    fx::reset_isa();
+  }
+}
+
+// ---- kernel-edge regressions ------------------------------------------------
+
+TEST(DispatchRegistry, RowAmaxNanAndSignedZeroMatchScalar) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // NaN in every alignment slot of a full vector, NaN-only rows, signed
+  // zeros, infinities, and NaN in the scalar tail — the scalar fold skips
+  // NaN (std::max's comparison is false), keeps +0 for -0, and returns inf
+  // when present; every variant must reproduce those bits.
+  std::vector<std::vector<float>> rows;
+  for (std::size_t slot = 0; slot < 17; ++slot) {
+    std::vector<float> row(19, 1.5f);
+    row[slot] = nan;
+    rows.push_back(row);
+  }
+  rows.push_back(std::vector<float>(16, nan));
+  rows.push_back({-0.0f, 0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f});
+  rows.push_back({1.0f, -inf, 2.0f, nan, 3.0f, inf, -4.0f, 0.5f, nan});
+  rows.push_back({nan, nan, nan});  // tail-only (below every vector width)
+  for (const auto& row : rows) {
+    const float want = fx::row_amax_scalar(row.data(), row.size());
+    for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+      const float got = table->row_amax(row.data(), row.size());
+      // Bit-compare so NaN==NaN counts as a match and -0 != +0 is caught.
+      EXPECT_EQ(std::isnan(got), std::isnan(want)) << table->name;
+      if (!std::isnan(want)) {
+        EXPECT_EQ(got, want) << table->name;
+        EXPECT_EQ(std::signbit(got), std::signbit(want)) << table->name;
+      }
+    }
+  }
+}
+
+// ---- serve determinism at a forced non-default level ------------------------
+
+// Compact bit-identity check over a full engine run (the full field-by-field
+// version lives in serve_invariants_test.cpp; here the claim is only that the
+// ISA selection is invisible end-to-end).
+void expect_serve_runs_identical(const serve::ServeEngine& a,
+                                 const serve::ServeEngine& b) {
+  EXPECT_EQ(a.metrics().tokens_generated, b.metrics().tokens_generated);
+  EXPECT_EQ(a.metrics().engine_steps, b.metrics().engine_steps);
+  EXPECT_EQ(a.metrics().preemptions, b.metrics().preemptions);
+  EXPECT_EQ(a.metrics().stats.k_bits_fetched, b.metrics().stats.k_bits_fetched);
+  EXPECT_EQ(a.metrics().stats.v_bits_fetched, b.metrics().stats.v_bits_fetched);
+  EXPECT_EQ(a.metrics().stats.tokens_kept, b.metrics().stats.tokens_kept);
+  ASSERT_EQ(a.requests().size(), b.requests().size());
+  for (std::size_t r = 0; r < a.requests().size(); ++r) {
+    const serve::Request& ra = a.requests()[r];
+    const serve::Request& rb = b.requests()[r];
+    EXPECT_EQ(ra.generated, rb.generated);
+    ASSERT_EQ(ra.outputs.size(), rb.outputs.size()) << "request " << r;
+    for (std::size_t s = 0; s < ra.outputs.size(); ++s) {
+      EXPECT_EQ(ra.outputs[s].position, rb.outputs[s].position);
+      ASSERT_EQ(ra.outputs[s].out.size(), rb.outputs[s].out.size());
+      for (std::size_t i = 0; i < ra.outputs[s].out.size(); ++i) {
+        EXPECT_EQ(ra.outputs[s].out[i], rb.outputs[s].out[i])
+            << "request " << r << " step " << s << " i=" << i;
+      }
+      EXPECT_EQ(ra.outputs[s].view_tokens, rb.outputs[s].view_tokens);
+      EXPECT_EQ(ra.outputs[s].kept_tokens, rb.outputs[s].kept_tokens);
+    }
+  }
+}
+
+TEST(DispatchServeDeterminism, ForcedNonDefaultLevelIsBitIdenticalToScalar) {
+  const auto supported = fx::supported_kernel_tables();
+  if (supported.size() < 2) {
+    GTEST_SKIP() << "only the scalar variant runs on this CPU";
+  }
+  IsaGuard guard;
+
+  serve::ServeConfig config;
+  config.n_layer = 1;
+  config.n_head = 2;
+  config.head_dim = 16;
+  config.max_batch = 4;
+  config.pool_pages = 48;
+  config.page_tokens = 4;
+  config.backend = serve::BackendKind::token_picker;
+  config.picker.estimator.threshold = 1e-3;
+  config.persistence_window = 2;
+  config.reclaim = true;
+  config.capture_outputs = true;
+
+  wl::PriorityMixParams mix;
+  mix.arrivals.rate = 0.8;
+  for (auto& m : mix.mix) {
+    m.prompt_min = 4;
+    m.prompt_max = 20;
+    m.decode_min = 8;
+    m.decode_max = 16;
+  }
+  Rng trace_rng(4242);
+  const auto trace = wl::make_priority_mix_trace(mix, 12, trace_rng);
+
+  ASSERT_TRUE(fx::force_isa(fx::IsaLevel::scalar));
+  serve::ServeEngine scalar_run(config);
+  scalar_run.submit_trace(trace);
+  scalar_run.run();
+
+  // The highest supported level — on any SIMD-capable host this is a
+  // genuinely different code path for all four kernels.
+  ASSERT_TRUE(fx::force_isa(supported.back()->level));
+  EXPECT_NE(fx::kernel_isa_level(), fx::IsaLevel::scalar);
+  serve::ServeEngine simd_run(config);
+  simd_run.submit_trace(trace);
+  simd_run.run();
+
+  EXPECT_GT(scalar_run.metrics().tokens_generated, 0u);
+  expect_serve_runs_identical(scalar_run, simd_run);
+}
+
+}  // namespace
+}  // namespace topick

@@ -3,9 +3,11 @@
 //     thread count, reuse across many parallel_fors, exception propagation.
 //   * row_dot_i64 SIMD-vs-scalar equivalence: randomized lengths including
 //     odd remainders and adversarial int16 extremes (±32767 runs) — integer
-//     dot products have one right answer, so the compiled-in kernel (AVX2,
-//     NEON, or portable) must match the scalar reference element-exactly,
-//     pinning the accumulator width of the vectorized path.
+//     dot products have one right answer, so EVERY kernel variant the
+//     runtime registry carries (fixedpoint/dispatch.h) must match the scalar
+//     reference element-exactly, pinning the accumulator width of each
+//     vectorized path. The loops below iterate supported_kernel_tables();
+//     tests/dispatch_test.cpp adds the forced-level wrapper matrix.
 //   * AccessStats::merge as the parallel reduction primitive: associativity,
 //     commutativity, and tail-bucket consistency with record_chunk_fetch's
 //     clamp (merging clamped-last-bucket stats into unclamped ones is plain
@@ -115,16 +117,24 @@ TEST(ThreadPool, PerTaskSlotsGiveThreadCountIndependentResults) {
   EXPECT_EQ(run(8), reference);
 }
 
-// ---- row_dot_i64 SIMD-vs-scalar equivalence ---------------------------------
+// ---- row_dot_i64 variant-vs-scalar equivalence ------------------------------
 
 TEST(RowDotI64, KernelNameIsKnown) {
+  // The active name must be a registry name the running CPU supports — not a
+  // hardcoded list, so a new ISA variant cannot silently miss this test.
   const std::string name = row_dot_kernel_name();
-  EXPECT_TRUE(name == "avx2" || name == "neon" || name == "portable") << name;
+  bool found = false;
+  for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+    if (name == table->name) found = true;
+  }
+  EXPECT_TRUE(found) << name;
+  EXPECT_EQ(name, fx::kernel_isa_name());
 }
 
-TEST(RowDotI64, MatchesScalarOnRandomizedLengths) {
+TEST(RowDotI64, EveryVariantMatchesScalarOnRandomizedLengths) {
   Rng rng(0x5eed);
-  // Odd remainders around every unroll width, plus typical head dims.
+  // Odd remainders around every unroll width (scalar x4, SSE x8, AVX2 x16,
+  // AVX-512 x32 plus their half-vector steps), plus typical head dims.
   const std::size_t lengths[] = {1, 2, 3, 7, 8, 9, 15, 16, 17, 31,
                                  32, 33, 63, 64, 65, 100, 127, 128, 256};
   for (const std::size_t n : lengths) {
@@ -137,9 +147,13 @@ TEST(RowDotI64, MatchesScalarOnRandomizedLengths) {
         b[i] = static_cast<std::int16_t>(
             static_cast<int>(rng.uniform_index(4096)) - 2048);
       }
-      EXPECT_EQ(row_dot_i64(a.data(), b.data(), n),
-                row_dot_i64_scalar(a.data(), b.data(), n))
+      const std::int64_t want = row_dot_i64_scalar(a.data(), b.data(), n);
+      EXPECT_EQ(row_dot_i64(a.data(), b.data(), n), want)
           << "n=" << n << " trial=" << trial;
+      for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+        EXPECT_EQ(table->row_dot_i64(a.data(), b.data(), n), want)
+            << table->name << " n=" << n << " trial=" << trial;
+      }
     }
   }
 }
@@ -147,7 +161,7 @@ TEST(RowDotI64, MatchesScalarOnRandomizedLengths) {
 TEST(RowDotI64, AdversarialInt16ExtremesPinAccumulatorWidth) {
   // ±32767 runs: every partial sum is at the magnitude where an int32 (or
   // madd-pair int32) accumulator would wrap. 256 * 32767^2 ≈ 2^38 forces
-  // the accumulation to be 64-bit wide everywhere.
+  // the accumulation to be 64-bit wide in every variant.
   const std::size_t lengths[] = {1, 7, 16, 31, 33, 64, 256};
   for (const std::size_t n : lengths) {
     std::vector<std::int16_t> pos(n, 32767);
@@ -163,6 +177,10 @@ TEST(RowDotI64, AdversarialInt16ExtremesPinAccumulatorWidth) {
             row_dot_i64_scalar(a->data(), b->data(), n);
         EXPECT_EQ(row_dot_i64(a->data(), b->data(), n), expected)
             << "n=" << n;
+        for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+          EXPECT_EQ(table->row_dot_i64(a->data(), b->data(), n), expected)
+              << table->name << " n=" << n;
+        }
         // Sanity: the all-same-sign cases really exceed int32 range for the
         // longer runs, so the equality above is meaningful.
         if (a == &pos && b == &pos && n >= 3) {
@@ -176,11 +194,14 @@ TEST(RowDotI64, AdversarialInt16ExtremesPinAccumulatorWidth) {
 TEST(RowDotI64, ZeroLengthIsZero) {
   EXPECT_EQ(row_dot_i64(nullptr, nullptr, 0), 0);
   EXPECT_EQ(row_dot_i64_scalar(nullptr, nullptr, 0), 0);
+  for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+    EXPECT_EQ(table->row_dot_i64(nullptr, nullptr, 0), 0) << table->name;
+  }
 }
 
 // ---- the other SIMD hot kernels: bit-exact vs their scalar references ------
 
-TEST(WeightedValueAccum, MatchesScalarBitExactly) {
+TEST(WeightedValueAccum, EveryVariantMatchesScalarBitExactly) {
   Rng rng(0x77a1);
   const std::size_t lengths[] = {1, 3, 4, 5, 7, 8, 31, 64, 65};
   for (const std::size_t n : lengths) {
@@ -190,22 +211,27 @@ TEST(WeightedValueAccum, MatchesScalarBitExactly) {
         x = static_cast<std::int16_t>(
             static_cast<int>(rng.uniform_index(4096)) - 2048);
       }
-      std::vector<float> out_simd(n), out_ref(n);
+      std::vector<float> seed(n), out_ref(n);
       for (std::size_t d = 0; d < n; ++d) {
-        out_simd[d] = out_ref[d] = static_cast<float>(rng.normal());
+        seed[d] = out_ref[d] = static_cast<float>(rng.normal());
       }
       const double p = rng.uniform();
       const double v_scale = rng.uniform() * 0.01 + 1e-6;
-      weighted_value_accum(out_simd.data(), v.data(), p, v_scale, n);
       weighted_value_accum_scalar(out_ref.data(), v.data(), p, v_scale, n);
-      for (std::size_t d = 0; d < n; ++d) {
-        EXPECT_EQ(out_simd[d], out_ref[d]) << "n=" << n << " d=" << d;
+      std::vector<float> out(n);
+      out = seed;
+      weighted_value_accum(out.data(), v.data(), p, v_scale, n);
+      EXPECT_EQ(out, out_ref) << "dispatch wrapper, n=" << n;
+      for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+        out = seed;
+        table->weighted_value_accum(out.data(), v.data(), p, v_scale, n);
+        EXPECT_EQ(out, out_ref) << table->name << " n=" << n;
       }
     }
   }
 }
 
-TEST(QuantizeRow, MatchesScalarBitExactlyIncludingHalfwayAndSaturation) {
+TEST(QuantizeRow, EveryVariantMatchesScalarIncludingHalfwayAndSaturation) {
   Rng rng(0x9a3f);
   fx::QuantParams params;
   const std::size_t lengths[] = {1, 7, 8, 9, 16, 33, 64};
@@ -229,12 +255,15 @@ TEST(QuantizeRow, MatchesScalarBitExactlyIncludingHalfwayAndSaturation) {
         }
       }
       std::vector<std::int16_t> got(n), want(n);
-      fx::quantize_row_i16(xs.data(), n, params, got.data());
       fx::quantize_row_i16_scalar(xs.data(), n, params, want.data());
-      for (std::size_t i = 0; i < n; ++i) {
-        EXPECT_EQ(got[i], want[i])
-            << "n=" << n << " i=" << i << " x=" << xs[i]
-            << " scale=" << params.scale;
+      fx::quantize_row_i16(xs.data(), n, params, got.data());
+      EXPECT_EQ(got, want) << "dispatch wrapper, n=" << n
+                           << " scale=" << params.scale;
+      for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+        std::vector<std::int16_t> variant(n);
+        table->quantize_row_i16(xs.data(), n, params, variant.data());
+        EXPECT_EQ(variant, want)
+            << table->name << " n=" << n << " scale=" << params.scale;
       }
     }
   }
