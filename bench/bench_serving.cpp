@@ -9,6 +9,13 @@
 // decode-step latency, TTFT and request-latency percentiles, queue wait,
 // prefill bytes, pool peak/reclaim counters, and per-priority-class
 // latency/SLO-attainment breakdowns).
+//
+// The `resilience` section is the overload scenario: arrival rate past
+// saturation, one degraded HBM channel, deadlines + retry + admission control
+// armed in both arms, no-controller vs the closed-loop DegradationController
+// — per-class resilience counters, SLO attainment, and the
+// "controller_improves" verdict CI greps for. `--faults` runs only this
+// scenario (the CI chaos-leg smoke).
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -17,6 +24,7 @@
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "fault/fault_plan.h"
 #include "obs/trace.h"
 #include "obs/trace_validate.h"
 #include "serve/metrics_export.h"
@@ -217,6 +225,165 @@ void emit_qos_rows(FILE* out, const std::vector<BenchRow>& rows) {
   }
 }
 
+// ---- overload resilience scenario -------------------------------------------
+
+// One degraded channel: 3x burst stretch plus periodic stall windows — the
+// fleet's aggregate bandwidth drops and channel-0 traffic queues behind it.
+fault::FaultPlan resilience_plan() {
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  fault::ChannelFaultSpec spec;
+  spec.channel = 0;
+  spec.fault.burst_multiplier = 3.0;
+  spec.fault.stall_period = 4096;
+  spec.fault.stall_cycles = 512;
+  plan.channels.push_back(spec);
+  return plan;
+}
+
+// Offered load past saturation for the resilience pool: the queue only grows
+// while arrivals continue, so without intervention deadlines start blowing.
+wl::PriorityMixParams resilience_mix() {
+  wl::PriorityMixParams mix;
+  mix.arrivals.rate = 2.0;
+  // interactive: short, tight step-domain deadlines — queue wait past ~2
+  // service generations blows them.
+  mix.mix[0] = wl::PriorityClassMix{0.5, 16, 48, 16, 48, 40, 128};
+  // batch: long prompts, deadlines loose enough to survive either arm.
+  mix.mix[1] = wl::PriorityClassMix{0.3, 64, 160, 16, 48, 384, 2048};
+  // best_effort: no SLO — the controller's first sacrifice.
+  mix.mix[2] = wl::PriorityClassMix{0.2, 32, 96, 16, 48, 0, 0};
+  return mix;
+}
+
+// Both arms share the faulted channel, deadlines, retry/backoff, and
+// admission control — the *only* difference is the closed-loop controller.
+BenchRow run_resilience_arm(bool controller, const fault::FaultPlan& plan,
+                            const std::vector<wl::ArrivalEvent>& trace) {
+  serve::ServeConfig config =
+      bench_config(serve::BackendKind::token_picker, 1e-3, true, 16);
+  config.max_batch = 8;
+  config.pool_pages = 192;  // tight enough that overload shows in occupancy
+  config.policy = serve::PolicyKind::cost_aware_victim;
+  config.policy_params.aging_steps = 96;
+  config.faults = &plan;
+  config.enforce_deadlines = true;
+  config.retry.max_retries = 2;
+  config.retry.backoff_base_steps = 4;
+  config.admission.reject_best_effort_utilization = 0.95;
+  if (controller) {
+    config.degradation.enabled = true;
+    config.degradation.evaluate_every_steps = 4;
+    config.degradation.hold_steps = 12;
+    config.degradation.pool_hi = 0.60;
+    config.degradation.pool_lo = 0.40;
+  }
+  return run_one(controller ? "controller" : "no_controller", config, trace);
+}
+
+void print_resilience_table(const std::vector<BenchRow>& rows) {
+  TablePrinter table({"arm", "class", "n", "retired", "failed", "aborts",
+                      "retries", "rejected", "ddl miss", "degr tok",
+                      "SLO ttft", "SLO lat"});
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
+      const auto& cls = row.metrics.per_class[c];
+      table.add_row({row.name, wl::priority_name(static_cast<wl::Priority>(c)),
+                     std::to_string(cls.submitted),
+                     std::to_string(cls.retired), std::to_string(cls.failed),
+                     std::to_string(cls.aborts), std::to_string(cls.retries),
+                     std::to_string(cls.rejections),
+                     std::to_string(cls.deadline_misses),
+                     std::to_string(cls.degraded_tokens),
+                     TablePrinter::fmt_pct(cls.slo_ttft_attainment()),
+                     TablePrinter::fmt_pct(cls.slo_latency_attainment())});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void emit_resilience_rows(FILE* out, const std::vector<BenchRow>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = rows[i].metrics;
+    std::fprintf(
+        out,
+        "    {\"config\": \"%s\", \"requests_retired\": %zu, "
+        "\"requests_failed\": %zu, \"aborts\": %llu, \"retries\": %llu, "
+        "\"rejections\": %llu, \"deadline_misses\": %llu, "
+        "\"degraded_tokens\": %llu, \"degradation_level_changes\": %llu, "
+        "\"final_degradation_level\": %d, \"preemptions\": %llu, "
+        "\"tokens_per_s\": %s, \"per_class\": {",
+        rows[i].name.c_str(), m.requests_retired, m.requests_failed,
+        static_cast<unsigned long long>(m.aborts),
+        static_cast<unsigned long long>(m.retries),
+        static_cast<unsigned long long>(m.rejections),
+        static_cast<unsigned long long>(m.deadline_misses),
+        static_cast<unsigned long long>(m.degraded_tokens),
+        static_cast<unsigned long long>(m.degradation_level_changes),
+        m.degradation_level, static_cast<unsigned long long>(m.preemptions),
+        json_escape_number(m.tokens_per_second()).c_str());
+    for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
+      const auto& cls = m.per_class[c];
+      std::fprintf(
+          out,
+          "\"%s\": {\"submitted\": %zu, \"retired\": %zu, \"failed\": %zu, "
+          "\"aborts\": %llu, \"retries\": %llu, \"rejections\": %llu, "
+          "\"deadline_misses\": %llu, \"degraded_tokens\": %llu, "
+          "\"slo_ttft_attainment\": %s, \"slo_latency_attainment\": %s}%s",
+          wl::priority_name(static_cast<wl::Priority>(c)), cls.submitted,
+          cls.retired, cls.failed, static_cast<unsigned long long>(cls.aborts),
+          static_cast<unsigned long long>(cls.retries),
+          static_cast<unsigned long long>(cls.rejections),
+          static_cast<unsigned long long>(cls.deadline_misses),
+          static_cast<unsigned long long>(cls.degraded_tokens),
+          json_escape_number(cls.slo_ttft_attainment()).c_str(),
+          json_escape_number(cls.slo_latency_attainment()).c_str(),
+          c + 1 < wl::kPriorityCount ? ", " : "");
+    }
+    std::fprintf(out, "}}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+}
+
+// Runs the overload scenario and emits the `resilience` JSON section into
+// `out`. Returns true when the controller arm strictly improves interactive
+// SLO attainment over the no-controller baseline (the verdict CI asserts).
+bool run_resilience(FILE* out, bool trailing_comma) {
+  const fault::FaultPlan plan = resilience_plan();
+  Rng rng(53);
+  const auto trace = wl::make_priority_mix_trace(resilience_mix(), 48, rng);
+
+  std::vector<BenchRow> rows;
+  rows.push_back(run_resilience_arm(false, plan, trace));
+  rows.push_back(run_resilience_arm(true, plan, trace));
+  std::printf(
+      "Overload resilience (rate past saturation, channel 0 degraded 3x, "
+      "deadlines + retry armed in both arms):\n");
+  print_resilience_table(rows);
+
+  const auto& base = rows[0].metrics.for_class(wl::Priority::interactive);
+  const auto& ctl = rows[1].metrics.for_class(wl::Priority::interactive);
+  const bool improves =
+      ctl.slo_latency_attainment() > base.slo_latency_attainment() &&
+      ctl.slo_ttft_attainment() >= base.slo_ttft_attainment();
+  std::printf(
+      "interactive SLO attainment: controller ttft %.3f lat %.3f vs "
+      "no-controller ttft %.3f lat %.3f (%s)\n\n",
+      ctl.slo_ttft_attainment(), ctl.slo_latency_attainment(),
+      base.slo_ttft_attainment(), base.slo_latency_attainment(),
+      improves ? "controller improves" : "controller does NOT improve");
+
+  std::fprintf(out,
+               "  \"resilience\": {\"arrivals\": \"poisson\", \"rate\": 1.3, "
+               "\"requests\": 48, \"pool_pages\": 320, "
+               "\"degraded_channel\": 0, \"burst_multiplier\": 3.0, "
+               "\"stall_period\": 4096, \"stall_cycles\": 512, "
+               "\"controller_improves\": %s, \"results\": [\n",
+               improves ? "true" : "false");
+  emit_resilience_rows(out, rows);
+  std::fprintf(out, "  ]}%s\n", trailing_comma ? "," : "");
+  return improves;
+}
+
 // Traced rerun of the representative scenario (Token-Picker at the paper's
 // 1e-3 threshold, two worker threads so the per-worker attention tracks are
 // visible). Tracing never changes engine bits — the rerun's outputs match the
@@ -260,10 +427,29 @@ int run_traced(const std::string& path,
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  bool faults_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults_only = true;
     }
+  }
+
+  // CI chaos-leg smoke: only the overload-resilience scenario, minimal JSON.
+  // Exit status reflects the controller verdict so the smoke fails loudly.
+  if (faults_only) {
+    FILE* out = std::fopen("BENCH_serving.json", "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot open BENCH_serving.json for writing\n");
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"serving_faults\",\n");
+    const bool improves = run_resilience(out, /*trailing_comma=*/false);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_serving.json (resilience only)\n");
+    return improves ? 0 : 1;
   }
 
   wl::ArrivalParams params;
@@ -382,6 +568,7 @@ int main(int argc, char** argv) {
                "\"pool_pages\": 384, \"aging_steps\": 96, \"results\": [\n");
   emit_qos_rows(out, qos_rows);
   std::fprintf(out, "  ]},\n");
+  run_resilience(out, /*trailing_comma=*/true);
   // One-snapshot registry view of the representative run: serve-level
   // counters/gauges, the streaming latency histograms, the decode-traffic
   // AccessStats (chunk-fetch histogram included), and per-class slices.

@@ -86,6 +86,19 @@ class ProbabilityEstimator {
   double log_denominator() const { return denom_.log(); }
   const EstimatorConfig& config() const { return config_; }
 
+  // Retune the pruning threshold between attention instances (the serve
+  // engine's graceful-degradation knob; see src/fault/degradation.h).
+  // Setting the same value back restores bit-identical behavior —
+  // log_threshold_ is recomputed exactly as the constructor computed it.
+  void set_threshold(double threshold) {
+    require(threshold >= 0.0 && threshold < 1.0,
+            "EstimatorConfig: threshold must be in [0, 1)");
+    config_.threshold = threshold;
+    log_threshold_ = threshold > 0.0
+                         ? std::log(threshold)
+                         : -std::numeric_limits<double>::infinity();
+  }
+
  private:
   // The RPDU fixed-point comparison path (out of line: fxexp dependency).
   bool should_prune_fixed_point(double s_max) const;

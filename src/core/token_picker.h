@@ -130,6 +130,16 @@ class TokenPickerAttention {
 
   const TokenPickerConfig& config() const { return config_; }
 
+  // Retune the pruning threshold between attends (graceful degradation under
+  // overload: a tighter threshold prunes more tokens, shrinking bytes moved
+  // per decode step at some accuracy cost). Takes effect from the next
+  // attention instance; restoring the original value restores bit-identical
+  // behavior.
+  void set_threshold(double threshold) {
+    config_.estimator.threshold = threshold;
+    estimator_.set_threshold(threshold);
+  }
+
  private:
   TokenPickerConfig config_;
   ProbabilityEstimator estimator_;

@@ -1,0 +1,60 @@
+#include "fault/degradation.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace topick::fault {
+namespace {
+
+// Reads a gauge if present; `fallback` when the engine never published it.
+double gauge_or(const obs::MetricsRegistry& registry, const char* name,
+                double fallback) {
+  const auto& gauges = registry.gauges();
+  const auto it = gauges.find(name);
+  return it != gauges.end() ? it->second.value : fallback;
+}
+
+}  // namespace
+
+bool DegradationController::observe(std::size_t step,
+                                    const obs::MetricsRegistry& registry) {
+  if (!config_.enabled) return false;
+  const std::size_t cadence =
+      config_.evaluate_every_steps > 0 ? config_.evaluate_every_steps : 1;
+  if (step % cadence != 0) return false;
+  if (changed_once_ && step - last_change_step_ < config_.hold_steps) {
+    return false;
+  }
+
+  const double occupancy = gauge_or(registry, kPoolOccupancyGauge, 0.0);
+  const double attainment = gauge_or(registry, kInteractiveSloGauge, -1.0);
+  const bool slo_pressure = attainment >= 0.0 && attainment < config_.slo_lo;
+  const bool slo_recovered = attainment < 0.0 || attainment > config_.slo_hi;
+
+  int next = level_;
+  if (occupancy >= config_.pool_hi || slo_pressure) {
+    if (level_ < kMaxLevel) next = level_ + 1;
+  } else if (occupancy <= config_.pool_lo && slo_recovered) {
+    if (level_ > 0) next = level_ - 1;
+  }
+  if (next == level_) return false;
+
+  level_ = next;
+  last_change_step_ = step;
+  changed_once_ = true;
+  ++changes_;
+  return true;
+}
+
+double DegradationController::threshold_scale(wl::Priority cls) const {
+  const int n = notches(cls);
+  return n == 0 ? 1.0 : std::pow(config_.threshold_scale, n);
+}
+
+float DegradationController::headroom(wl::Priority cls) const {
+  const int n = notches(cls);
+  return 1.0f + config_.headroom_step * static_cast<float>(n);
+}
+
+}  // namespace topick::fault

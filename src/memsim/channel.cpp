@@ -68,6 +68,12 @@ void Channel::tick(std::uint64_t now, std::vector<MemResponse>& done,
   }
 
   if (now < refresh_until_) return;  // channel busy refreshing
+  // Injected stall window: no new command issues, in-flight bursts drained
+  // above. Counted only while work is actually blocked.
+  if (fault_ != nullptr && fault_->stalled(now)) {
+    if (!queue_.empty()) ++stats_.fault_stall_cycles;
+    return;
+  }
   if (queue_.empty()) return;
 
   bool found = false;
@@ -82,18 +88,22 @@ void Channel::tick(std::uint64_t now, std::vector<MemResponse>& done,
   auto& bank = banks_[qr.local.bank];
   const bool was_hit = bank.row_open(qr.local.row);
   const std::uint64_t col_cycle = bank.issue_read(qr.local.row, now);
+  // A degraded channel stretches every burst (reduced data-bus throughput).
+  const std::uint64_t burst_cycles =
+      fault_ != nullptr
+          ? fault_->burst_cycles(config_->timing.t_burst)
+          : static_cast<std::uint64_t>(config_->timing.t_burst);
   const std::uint64_t burst_start =
       std::max(col_cycle + static_cast<std::uint64_t>(config_->timing.t_cl),
                data_bus_free_);
-  data_bus_free_ = burst_start + static_cast<std::uint64_t>(config_->timing.t_burst);
+  data_bus_free_ = burst_start + burst_cycles;
 
   if (trace != nullptr) {
     trace->push_back(TraceEntry{now, qr.request.addr, 0, was_hit});
   }
   ++stats_.requests;
   stats_.bytes_read += static_cast<std::uint64_t>(config_->transaction_bytes);
-  stats_.data_bus_busy_cycles +=
-      static_cast<std::uint64_t>(config_->timing.t_burst);
+  stats_.data_bus_busy_cycles += burst_cycles;
   if (was_hit) {
     ++stats_.row_hits;
   } else {
@@ -101,9 +111,7 @@ void Channel::tick(std::uint64_t now, std::vector<MemResponse>& done,
     ++stats_.activates;
   }
 
-  in_flight_.push_back(InFlight{
-      qr.request,
-      burst_start + static_cast<std::uint64_t>(config_->timing.t_burst)});
+  in_flight_.push_back(InFlight{qr.request, burst_start + burst_cycles});
   queue_.erase(queue_.begin() + static_cast<long>(pick));
 }
 

@@ -56,6 +56,14 @@ class Channel {
   std::size_t pending() const { return queue_.size() + in_flight_.size(); }
   const DramStats& stats() const { return stats_; }
 
+  // Fault injection (src/fault/): a non-null fault degrades this channel —
+  // stretched bursts and/or periodic issue-stall windows, handled inside
+  // tick() so the serial driver, replay(), and Hbm::replay_sharded all see
+  // identical behavior. The pointee must outlive the channel's use; nullptr
+  // (the default) restores bit-identical healthy behavior.
+  void set_fault(const ChannelFault* fault) { fault_ = fault; }
+  const ChannelFault* fault() const { return fault_; }
+
  private:
   struct QueuedRequest {
     MemRequest request;
@@ -79,6 +87,7 @@ class Channel {
   std::uint64_t data_bus_free_ = 0;   // next cycle the data bus is free
   std::uint64_t next_refresh_ = 0;
   std::uint64_t refresh_until_ = 0;
+  const ChannelFault* fault_ = nullptr;
   DramStats stats_;
 };
 

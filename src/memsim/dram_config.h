@@ -31,6 +31,33 @@ struct DramEnergy {
   double refresh_pj = 2400.0;    // per REF per channel
 };
 
+// Degradation model for one channel, used by the fault-injection layer
+// (src/fault/). A null fault pointer on a channel is the healthy fast path:
+// the checks below are never evaluated and behavior is bit-identical to a
+// build without faults.
+//
+// Two independent mechanisms, both purely cycle-domain and deterministic:
+//   * burst_multiplier stretches every data burst (effective t_burst =
+//     t_burst * burst_multiplier, floored to >= 1 cycle), modelling a
+//     channel running at reduced data-bus throughput;
+//   * periodic stall windows: within every `stall_period` cycles the first
+//     `stall_cycles` block new command issue (in-flight bursts still drain),
+//     modelling transient controller hiccups. Window phase is absolute-cycle
+//     arithmetic, so serial tick and self-clocked replay agree exactly.
+struct ChannelFault {
+  double burst_multiplier = 1.0;
+  std::uint64_t stall_period = 0;  // 0 = no stall windows
+  std::uint64_t stall_cycles = 0;
+
+  bool stalled(std::uint64_t now) const {
+    return stall_period != 0 && now % stall_period < stall_cycles;
+  }
+  std::uint64_t burst_cycles(int t_burst) const {
+    const double scaled = static_cast<double>(t_burst) * burst_multiplier;
+    return scaled > 1.0 ? static_cast<std::uint64_t>(scaled) : 1;
+  }
+};
+
 struct DramConfig {
   int channels = 8;
   int banks_per_channel = 16;

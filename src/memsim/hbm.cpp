@@ -131,6 +131,7 @@ DramStats Hbm::stats() const {
     total.bytes_read += s.bytes_read;
     total.data_bus_busy_cycles += s.data_bus_busy_cycles;
     total.queue_full_stalls += s.queue_full_stalls;
+    total.fault_stall_cycles += s.fault_stall_cycles;
   }
   return total;
 }

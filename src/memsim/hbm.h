@@ -82,6 +82,13 @@ class Hbm {
   std::size_t channel_count() const { return channels_.size(); }
   const Channel& channel(std::size_t c) const { return channels_[c]; }
 
+  // Fault injection: degrade one channel (see ChannelFault). Out-of-range
+  // channel indices are ignored so a fault plan written for a wider stack
+  // degrades the channels that exist. nullptr clears the fault.
+  void set_channel_fault(std::size_t c, const ChannelFault* fault) {
+    if (c < channels_.size()) channels_[c].set_fault(fault);
+  }
+
   // Transaction tracing (off by default; costs memory proportional to the
   // request count). Entries appear in command-commit order per channel.
   void enable_trace(bool on) { trace_enabled_ = on; }

@@ -36,6 +36,9 @@ struct DramStats {
   // queue. Zero certifies the no-interference condition under which the
   // sharded replay is cycle-exact vs the serial driver (see Hbm::replay_sharded).
   std::uint64_t queue_full_stalls = 0;
+  // Cycles an injected ChannelFault stall window blocked command issue while
+  // work was queued (fault layer only; always zero without a fault plan).
+  std::uint64_t fault_stall_cycles = 0;
 
   double row_hit_rate() const {
     const auto total = row_hits + row_misses;

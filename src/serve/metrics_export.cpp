@@ -35,6 +35,12 @@ void export_class_metrics(const ClassMetrics& cls, const std::string& prefix,
   registry->counter(prefix + "retired").value = cls.retired;
   registry->counter(prefix + "preemptions").value = cls.preemptions;
   registry->counter(prefix + "tokens_generated").value = cls.tokens_generated;
+  registry->counter(prefix + "failed").value = cls.failed;
+  registry->counter(prefix + "aborts").value = cls.aborts;
+  registry->counter(prefix + "retries").value = cls.retries;
+  registry->counter(prefix + "rejections").value = cls.rejections;
+  registry->counter(prefix + "deadline_misses").value = cls.deadline_misses;
+  registry->counter(prefix + "degraded_tokens").value = cls.degraded_tokens;
   registry->gauge(prefix + "slo_ttft_attainment")
       .set(cls.slo_ttft_attainment());
   registry->gauge(prefix + "slo_latency_attainment")
@@ -64,6 +70,18 @@ void export_fleet_metrics(const FleetMetrics& metrics,
   registry->counter("serve.pool_peak_pages").value = metrics.pool_peak_pages;
   registry->counter("serve.pool_reuses").value = metrics.pool_reuses;
   registry->counter("serve.pages_reclaimed").value = metrics.pages_reclaimed;
+
+  // Resilience counters (src/fault/): zero in fault-free, controller-off runs.
+  registry->counter("serve.requests_failed").value = metrics.requests_failed;
+  registry->counter("serve.aborts").value = metrics.aborts;
+  registry->counter("serve.retries").value = metrics.retries;
+  registry->counter("serve.rejections").value = metrics.rejections;
+  registry->counter("serve.deadline_misses").value = metrics.deadline_misses;
+  registry->counter("serve.degraded_tokens").value = metrics.degraded_tokens;
+  registry->counter("serve.degradation_level_changes").value =
+      metrics.degradation_level_changes;
+  registry->gauge("serve.degradation_level")
+      .set(static_cast<double>(metrics.degradation_level));
 
   registry->gauge("serve.tokens_per_second").set(metrics.tokens_per_second());
   registry->gauge("serve.bytes_per_token").set(metrics.bytes_per_token());

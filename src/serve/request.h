@@ -13,7 +13,18 @@ namespace topick::serve {
 
 // `prefilling` requests hold a slot and append prompt K/V in chunks
 // (ServeConfig::prefill_chunk_tokens per step) before their first decode.
-enum class RequestState { queued, prefilling, running, preempted, finished };
+// `backoff` requests were aborted by a fault or rejected by admission control
+// and are waiting out their retry backoff (not in the queue, holding no
+// pages). `failed` is terminal: deadline cancel, or retries exhausted.
+enum class RequestState {
+  queued,
+  prefilling,
+  running,
+  preempted,
+  backoff,
+  finished,
+  failed,
+};
 
 // Captured per decode step when ServeConfig::capture_outputs is set — the
 // evidence the acceptance test checks against shadow exact attention.
@@ -43,6 +54,14 @@ struct Request {
   std::size_t admit_step = 0;
   std::size_t finish_step = 0;
   int preemptions = 0;
+
+  // Fault/retry bookkeeping (src/fault/): attempts consumed by aborts or
+  // admission rejections, and — while in RequestState::backoff — the earliest
+  // step the request may re-enter the queue. Progress (generated tokens) is
+  // retained across retries; re-admission replays prompt+generated exactly
+  // like preemption-recompute, so aborted work is charged once per attempt.
+  int attempts = 0;
+  std::size_t retry_at_step = 0;
 
   // Queue-wait bookkeeping for the scheduler's aging guard: the step the
   // current queued stint began (arrival step, or the preemption step after

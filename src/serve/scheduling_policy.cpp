@@ -88,11 +88,17 @@ bool CostAwareVictim::pick_victim(std::span<const VictimCandidate> candidates,
                                   std::size_t* victim) const {
   require(!candidates.empty(), "pick_victim: empty candidate list");
   // Same class protection as PrioritySlack, but within the lowest eligible
-  // class rank victims by replay cost per page refunded: replay_bits /
-  // pages_held ascending (compared cross-multiplied to stay in integers),
-  // i.e. the cheapest recompute-on-resume per pool page freed goes first.
-  // Ties fall back to youngest.
+  // class prefer the victim with the most remaining deadline slack (a
+  // near-deadline request preempted now is a guaranteed miss; candidates
+  // without a deadline carry kNoSlack and so are sacrificed ahead of any
+  // deadline-bearing one). With equal slack — in particular, always, when
+  // deadline enforcement is off and every candidate is at kNoSlack — rank by
+  // replay cost per page refunded: replay_bits / pages_held ascending
+  // (compared cross-multiplied to stay in integers), i.e. the cheapest
+  // recompute-on-resume per pool page freed goes first. Ties fall back to
+  // youngest.
   auto cheaper = [](const VictimCandidate& a, const VictimCandidate& b) {
+    if (a.slack_steps != b.slack_steps) return a.slack_steps > b.slack_steps;
     const std::uint64_t pa = a.pages_held > 0 ? a.pages_held : 1;
     const std::uint64_t pb = b.pages_held > 0 ? b.pages_held : 1;
     const std::uint64_t lhs = a.replay_bits * pb;

@@ -51,11 +51,20 @@ struct AdmissionCandidate {
 // One running request eligible for preemption. The engine never includes the
 // needy request itself, and never calls pick_victim with an empty list.
 struct VictimCandidate {
+  static constexpr long long kNoSlack = std::numeric_limits<long long>::max();
+
   std::size_t request = 0;
   wl::Priority priority = wl::Priority::best_effort;
   std::size_t admit_order = 0;   // position in the running list; older = smaller
   std::size_t pages_held = 0;    // pool pages a preemption would free
   std::uint64_t replay_bits = 0; // K/V write bits to replay prompt+generated on resume
+  // Remaining deadline slack in engine steps (deadline - now; negative =
+  // already past due). kNoSlack when the request carries no deadline — the
+  // engine fills this only when deadline enforcement is on, so deadline-free
+  // runs see every candidate at kNoSlack and cost ordering is unchanged
+  // bit-for-bit. CostAwareVictim prefers victims with MORE slack: preempting
+  // a near-deadline request turns its remaining work into a guaranteed miss.
+  long long slack_steps = kNoSlack;
 };
 
 class SchedulingPolicy {

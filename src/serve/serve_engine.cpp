@@ -58,7 +58,11 @@ struct ServeEngine::Workspace {
 };
 
 struct ServeEngine::Slot {
-  Slot(PagedKvPool* pool, const ServeConfig& config)
+  // `headroom` is the quantized-cache rescale headroom — 1.0 normally; the
+  // degradation controller raises it for slots created while the request's
+  // class is degraded (fewer rescale passes at some quantization-accuracy
+  // cost), so it is per-slot, not per-config.
+  Slot(PagedKvPool* pool, const ServeConfig& config, float headroom)
       : cache(pool, config.n_layer, config.n_head) {
     const auto n = static_cast<std::size_t>(config.n_layer) * config.n_head;
     persistence.reserve(n);
@@ -69,7 +73,7 @@ struct ServeEngine::Slot {
     for (std::size_t i = 0; i < n; ++i) {
       persistence.emplace_back(config.persistence_window);
       qcaches.emplace_back(static_cast<std::size_t>(config.head_dim),
-                           QuantizedKvCache::Config{quant, 1.0f});
+                           QuantizedKvCache::Config{quant, headroom});
     }
   }
 
@@ -200,6 +204,14 @@ double FleetMetrics::bytes_per_token() const {
          8.0 / static_cast<double>(tokens_generated);
 }
 
+std::size_t RetryPolicy::backoff_steps(int attempt) const {
+  double wait = static_cast<double>(backoff_base_steps);
+  for (int i = 1; i < attempt; ++i) wait *= backoff_multiplier;
+  const auto cap = static_cast<double>(backoff_max_steps);
+  if (wait > cap) wait = cap;
+  return static_cast<std::size_t>(wait);
+}
+
 ServeEngine::ServeEngine(const ServeConfig& config)
     : config_(config),
       pool_(PagedPoolConfig{config.pool_pages, config.page_tokens,
@@ -208,6 +220,8 @@ ServeEngine::ServeEngine(const ServeConfig& config)
       policy_(make_policy(config.policy, config.policy_params)),
       hbm_(config.dram),
       workers_(config.threads),
+      injector_(config.faults),
+      degrade_(config.degradation),
       lane_(config.pipeline) {
   require(config.n_layer > 0 && config.n_head > 0 && config.head_dim > 0,
           "ServeConfig: bad shape");
@@ -219,6 +233,17 @@ ServeEngine::ServeEngine(const ServeConfig& config)
   // The oracle pass is an O(context) diagnostic per attention instance; the
   // engine's hot loop must stay O(kept). Outputs/decisions are unaffected.
   config_.picker.compute_oracle_mass = false;
+  // Wire the fault plan's degraded channels into the memsim model. The plan
+  // owns the ChannelFault storage (and must outlive the engine); channels the
+  // model doesn't have are ignored.
+  if (config_.faults != nullptr) {
+    for (const auto& spec : config_.faults->channels) {
+      if (spec.channel >= 0) {
+        hbm_.set_channel_fault(static_cast<std::size_t>(spec.channel),
+                               &spec.fault);
+      }
+    }
+  }
   workspaces_.reserve(workers_.threads());
   for (std::size_t w = 0; w < workers_.threads(); ++w) {
     workspaces_.push_back(std::make_unique<Workspace>(config_.picker));
@@ -444,6 +469,25 @@ void ServeEngine::admit_due_requests() {
     }
     const std::size_t pick = policy_->pick_admission(admission_scratch_);
     const std::size_t request = admission_scratch_[pick].request;
+    // Admission control may REJECT (not just delay) a best_effort pick:
+    // above the configured pool-utilization threshold, or whenever the
+    // degradation controller is shedding. The rejection goes through the
+    // retry path — the request backs off and may return, or fails once its
+    // attempts are spent. The loop then re-snapshots the shrunken queue.
+    if (requests_[request].priority() == wl::Priority::best_effort) {
+      bool reject = degrade_.enabled() && degrade_.shed_best_effort();
+      const double limit = config_.admission.reject_best_effort_utilization;
+      if (!reject && limit > 0.0 && pool_.pages_total() > 0) {
+        const std::size_t committed =
+            pool_.pages_total() - pool_.pages_free() + reserved;
+        reject = static_cast<double>(committed) >=
+                 limit * static_cast<double>(pool_.pages_total());
+      }
+      if (reject) {
+        cancel_request(request, CancelReason::rejected);
+        continue;
+      }
+    }
     const std::size_t need = pages_for_prefill(requests_[request]);
     if (pool_.pages_free() < need + reserved) {
       // With an idle, fully-free pool this request can never fit — a config
@@ -473,7 +517,9 @@ void ServeEngine::begin_prefill(std::size_t request) {
                                 ? now_ - req.enqueue_step
                                 : 0;
   req.enqueue_step = now_;
-  auto slot = std::make_unique<Slot>(&pool_, config_);
+  auto slot = std::make_unique<Slot>(
+      &pool_, config_,
+      degrade_headroom_[static_cast<std::size_t>(req.priority())]);
   if (config_.backend == BackendKind::spatten) {
     slot->spatten = std::make_unique<SpAttenBackend>(
         config_.spatten, config_.n_layer, config_.n_head,
@@ -586,6 +632,9 @@ bool ServeEngine::preempt_for_pressure(std::size_t needy) {
     cand.admit_order = order;
     cand.pages_held = slots_[r]->cache.pages_held();
     cand.replay_bits = replay_cost_bits(requests_[r]);
+    // Filled only under deadline enforcement — deadline-free runs keep every
+    // candidate at kNoSlack, leaving the policy's cost ordering untouched.
+    cand.slack_steps = deadline_slack(requests_[r]);
     victim_scratch_.push_back(cand);
   }
   require(!victim_scratch_.empty(),
@@ -620,6 +669,15 @@ bool ServeEngine::ensure_pages_for_append(std::size_t request,
           slot.cache.seq(layer, head).appended_tokens();
       needed += (appended + tokens + pt - 1) / pt - (appended + pt - 1) / pt;
     }
+  }
+  // Transient allocation fault (fault_plan.h): an append that needs at least
+  // one new page may be failed by the plan. The request loses its slot —
+  // pages and same-step recorded work released exactly once via the cancel
+  // path — and the retry policy decides whether it comes back. Both callers
+  // bail out on false before touching the slot.
+  if (needed > 0 && injector_.enabled() && injector_.alloc_fault(now_)) {
+    cancel_request(request, CancelReason::fault);
+    return false;
   }
   while (pool_.pages_free() < needed) {
     if (!preempt_for_pressure(request)) return false;
@@ -684,6 +742,18 @@ void ServeEngine::run_decode_instance(std::size_t pending, std::size_t inst,
 
   switch (config_.backend) {
     case BackendKind::token_picker: {
+      // Graceful degradation: tighten the pruning threshold by the class's
+      // current scale. The scale array is written only between steps (main
+      // thread, update_degradation) and read here by every worker, and the
+      // value is a pure function of (class, level) — so which worker runs an
+      // instance cannot change its output. Controller off: never touched,
+      // bit-identical to pre-fault builds.
+      if (degrade_.enabled()) {
+        const double scaled =
+            config_.picker.estimator.threshold *
+            degrade_scale_[static_cast<std::size_t>(req.priority())];
+        ws.picker.set_threshold(scaled < 0.5 ? scaled : 0.5);
+      }
       ws.picker.attend_cached(q, qcache, &ws.picker_result);
       res.stats = ws.picker_result.stats;
       res.out.assign(ws.picker_result.output.begin(),
@@ -880,6 +950,10 @@ void ServeEngine::reduce_pending(std::size_t pending) {
   ++req.generated;
   ++metrics_.tokens_generated;
   ++class_metrics(req).tokens_generated;
+  if (degrade_.enabled() && degrade_.notches(req.priority()) > 0) {
+    ++metrics_.degraded_tokens;
+    ++class_metrics(req).degraded_tokens;
+  }
 
   // Step-domain latency bookkeeping happens now, at reduce time; the
   // cycle-domain twins (cycle stamps + TTFT/latency samples) become a
@@ -922,6 +996,232 @@ void ServeEngine::retire(std::size_t request) {
     ++cls.slo_latency_tracked;
     if (req.finish_step - req.event.step <= req.event.slo_latency_steps) {
       ++cls.slo_latency_met;
+    }
+  }
+}
+
+std::size_t ServeEngine::effective_deadline_steps(const Request& req) const {
+  return req.event.deadline_steps > 0 ? req.event.deadline_steps
+                                      : req.event.slo_latency_steps;
+}
+
+long long ServeEngine::deadline_slack(const Request& req) const {
+  if (!config_.enforce_deadlines) return VictimCandidate::kNoSlack;
+  const std::size_t deadline = effective_deadline_steps(req);
+  if (deadline == 0) return VictimCandidate::kNoSlack;
+  return static_cast<long long>(req.event.step + deadline) -
+         static_cast<long long>(now_);
+}
+
+void ServeEngine::fail_request(std::size_t request) {
+  Request& req = requests_[request];
+  req.state = RequestState::failed;
+  req.finish_step = now_;
+  ++finished_;
+  ++metrics_.requests_failed;
+  ClassMetrics& cls = class_metrics(req);
+  ++cls.failed;
+  // A failed request counts against its SLOs exactly once: TTFT only if no
+  // first token was ever produced (reduce_pending already counted it
+  // otherwise), latency always — both tracked and not met, so attainment
+  // reflects failures instead of silently shrinking its denominator. No
+  // cycle-domain stamps: the lane never hears about failures, keeping the
+  // pipelined field partition intact (latency_cycles() reports 0).
+  if (req.event.slo_ttft_steps > 0 && !req.first_token_recorded) {
+    ++cls.slo_ttft_tracked;
+  }
+  if (req.event.slo_latency_steps > 0) ++cls.slo_latency_tracked;
+  trace_lifecycle_end(request, "request");
+}
+
+void ServeEngine::cancel_request(std::size_t request, CancelReason reason) {
+  Request& req = requests_[request];
+  const RequestState prev = req.state;
+
+  // Detach from wherever the request lives, releasing pages, quantized-cache
+  // entries, and same-step recorded work exactly once.
+  switch (prev) {
+    case RequestState::prefilling:
+    case RequestState::running:
+      slots_[request]->cache.release_all();
+      slots_[request].reset();
+      cancel_step_work(request);
+      batcher_.retire(request);  // drops from running/prefilling, no re-queue
+      break;
+    case RequestState::queued:
+    case RequestState::preempted: {
+      RequestQueue& queue = batcher_.queue();
+      for (RequestQueue::Handle h = queue.first(); h != RequestQueue::kNone;
+           h = queue.next(h)) {
+        if (queue.request_of(h) == request) {
+          queue.erase(h);
+          break;
+        }
+      }
+      // Close the queued stint so the aging clock stays consistent if the
+      // request retries.
+      req.queued_steps_accum +=
+          now_ >= req.enqueue_step ? now_ - req.enqueue_step : 0;
+      req.enqueue_step = now_;
+      break;
+    }
+    case RequestState::backoff:
+      backoff_.erase(std::find(backoff_.begin(), backoff_.end(), request));
+      break;
+    case RequestState::finished:
+    case RequestState::failed:
+      return;  // already terminal; nothing to cancel
+  }
+  // Reset the prefill cursor: a request cancelled mid-prefill must never
+  // resume a stale cursor (begin_prefill recomputes the target from
+  // prompt+generated on re-admission). The chunks it did complete were
+  // charged at reduce time — this step's uncharged chunk died with its
+  // PendingWork above, so replay traffic is charged exactly once per kept
+  // chunk.
+  req.prefilled = 0;
+  req.prefill_target = 0;
+
+  ClassMetrics& cls = class_metrics(req);
+  if (reason == CancelReason::rejected) {
+    ++metrics_.rejections;
+    ++cls.rejections;
+    trace_lifecycle_instant(request, "reject");
+  } else {
+    ++metrics_.aborts;
+    ++cls.aborts;
+    if (reason == CancelReason::deadline) {
+      ++metrics_.deadline_misses;
+      ++cls.deadline_misses;
+      trace_lifecycle_instant(request, "deadline_miss");
+    } else {
+      trace_lifecycle_instant(request, "abort");
+    }
+  }
+
+  // queued/preempted/backoff all live inside the "queued" lifecycle span;
+  // keep it open when the request merely moves to backoff.
+  const bool in_queued_span = prev == RequestState::queued ||
+                              prev == RequestState::preempted ||
+                              prev == RequestState::backoff;
+  const char* active_span = in_queued_span ? "queued"
+                            : prev == RequestState::prefilling ? "prefill"
+                                                               : "decode";
+  // Deadline cancellations never retry: waiting longer cannot un-blow a
+  // deadline. Fault aborts and rejections retry while attempts remain.
+  const bool retryable = reason != CancelReason::deadline &&
+                         req.attempts < config_.retry.max_retries;
+  if (retryable) {
+    ++req.attempts;
+    req.retry_at_step = now_ + config_.retry.backoff_steps(req.attempts);
+    req.state = RequestState::backoff;
+    backoff_.push_back(request);
+    if (!in_queued_span) {
+      trace_lifecycle_end(request, active_span);
+      trace_lifecycle_begin(request, "queued");  // covers backoff + re-queue
+    }
+  } else {
+    trace_lifecycle_end(request, active_span);
+    fail_request(request);
+  }
+}
+
+void ServeEngine::process_retries_and_faults() {
+  // Retry re-entries first — a due request re-queues now and is visible to
+  // this same step's admission phase. Collected then sorted by request index
+  // so the queue order is independent of how backoff_ got permuted by
+  // earlier erases.
+  if (!backoff_.empty()) {
+    retry_scratch_.clear();
+    for (const std::size_t r : backoff_) {
+      if (requests_[r].retry_at_step <= now_) retry_scratch_.push_back(r);
+    }
+    std::sort(retry_scratch_.begin(), retry_scratch_.end());
+    for (const std::size_t r : retry_scratch_) {
+      backoff_.erase(std::find(backoff_.begin(), backoff_.end(), r));
+      Request& req = requests_[r];
+      req.state = RequestState::queued;
+      req.enqueue_step = now_;  // the backoff wait does not age the request
+      batcher_.queue().push_arrival(r);
+      ++metrics_.retries;
+      ++class_metrics(req).retries;
+      trace_lifecycle_instant(r, "retry");
+    }
+  }
+
+  // Abort faults (client disconnect / upstream cancel), walked in request
+  // order over arrived, still-live requests — sequential and index-ordered,
+  // so firing is identical at every thread count.
+  if (injector_.enabled()) {
+    for (std::size_t r = 0; r < next_arrival_; ++r) {
+      Request& req = requests_[r];
+      if (req.state == RequestState::finished ||
+          req.state == RequestState::failed) {
+        continue;
+      }
+      if (injector_.should_abort(req.event.request_id, now_)) {
+        cancel_request(r, CancelReason::fault);
+      }
+    }
+  }
+
+  // Deadline enforcement: cancel anything strictly past its deadline
+  // (finishing exactly at the deadline step still meets it, matching the
+  // SLO accounting's <=).
+  if (config_.enforce_deadlines) {
+    for (std::size_t r = 0; r < next_arrival_; ++r) {
+      Request& req = requests_[r];
+      if (req.state == RequestState::finished ||
+          req.state == RequestState::failed) {
+        continue;
+      }
+      const std::size_t deadline = effective_deadline_steps(req);
+      if (deadline > 0 && now_ > req.event.step + deadline) {
+        cancel_request(r, CancelReason::deadline);
+      }
+    }
+  }
+}
+
+void ServeEngine::update_degradation() {
+  if (!degrade_.enabled()) return;
+  const std::size_t cadence =
+      degrade_.config().evaluate_every_steps > 0
+          ? degrade_.config().evaluate_every_steps
+          : 1;
+  if (now_ % cadence != 0) return;
+  // Publish the controller's input signals. Pool occupancy reads the live
+  // pool; interactive SLO attainment is windowed over the TTFT verdicts
+  // since the previous evaluation (-1 = empty window, neutral signal).
+  const double occupancy =
+      pool_.pages_total() > 0
+          ? 1.0 - static_cast<double>(pool_.pages_free()) /
+                      static_cast<double>(pool_.pages_total())
+          : 0.0;
+  const ClassMetrics& interactive =
+      metrics_.per_class[static_cast<std::size_t>(wl::Priority::interactive)];
+  const std::size_t tracked =
+      interactive.slo_ttft_tracked - slo_window_tracked_;
+  const std::size_t met = interactive.slo_ttft_met - slo_window_met_;
+  const double attainment =
+      tracked > 0
+          ? static_cast<double>(met) / static_cast<double>(tracked)
+          : -1.0;
+  slo_window_tracked_ = interactive.slo_ttft_tracked;
+  slo_window_met_ = interactive.slo_ttft_met;
+  degrade_signals_.gauge(fault::kPoolOccupancyGauge).set(occupancy);
+  degrade_signals_.gauge(fault::kInteractiveSloGauge).set(attainment);
+  if (degrade_.observe(now_, degrade_signals_)) {
+    ++metrics_.degradation_level_changes;
+    metrics_.degradation_level = degrade_.level();
+    for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
+      const auto cls = static_cast<wl::Priority>(c);
+      degrade_scale_[c] = degrade_.threshold_scale(cls);
+      degrade_headroom_[c] = degrade_.headroom(cls);
+    }
+    if (trace_ != nullptr) {
+      trace_->counter(0, obs::TraceDomain::engine, "degrade.level",
+                      trace_->now_ns(), "level",
+                      static_cast<double>(degrade_.level()));
     }
   }
 }
@@ -1168,6 +1468,12 @@ bool ServeEngine::step() {
   {
     obs::PhaseTimer timer(phases ? &phase_stats_.admit_ns : nullptr);
     obs::TraceSpan span(trace_, 0, "admit", "engine");
+    // Fault/deadline/retry phase, then the degradation controller's cadence,
+    // then admission — all sequential, step-domain, main-thread (the
+    // pipelined lane never touches any of it). With faults off, deadlines
+    // off, and the controller disabled all three are no-ops.
+    process_retries_and_faults();
+    update_degradation();
     admit_due_requests();
   }
 
@@ -1290,14 +1596,16 @@ bool ServeEngine::step() {
     for (const auto& unit : units_) {
       units_left_[unit.pending].fetch_add(1, std::memory_order_relaxed);
     }
-    workers_.submit(
-        units_.size(),
+    // submit() keeps a pointer to the batch function, so it must stay alive
+    // until finish() — a temporary in the call expression would dangle for
+    // the whole drain loop below.
+    const std::function<void(std::size_t, std::size_t)> unit_fn =
         [this](std::size_t unit, std::size_t worker) {
           run_unit(units_[unit], worker);
           units_left_[units_[unit].pending].fetch_sub(
               1, std::memory_order_release);
-        },
-        grain);
+        };
+    workers_.submit(units_.size(), unit_fn, grain);
     std::uint64_t reduce_ns = 0;
     std::size_t next_reduce = 0;
     for (;;) {

@@ -54,6 +54,8 @@
 #include "core/quantized_kv_cache.h"
 #include "core/spatten.h"
 #include "core/token_picker.h"
+#include "fault/degradation.h"
+#include "fault/fault_plan.h"
 #include "memsim/hbm.h"
 #include "obs/metrics.h"
 #include "obs/phase_stats.h"
@@ -92,6 +94,28 @@ constexpr std::uint64_t stream_addr(std::size_t request,
 }
 
 }  // namespace dram_layout
+
+// Bounded exponential backoff for requests aborted by a fault or rejected by
+// admission control. A request consumes one attempt per abort/rejection; once
+// max_retries are spent the next cancellation is terminal (RequestState::
+// failed). Deadline cancellations never retry — a blown deadline cannot be
+// un-blown by waiting longer.
+struct RetryPolicy {
+  int max_retries = 3;
+  std::size_t backoff_base_steps = 4;   // wait before the first retry
+  double backoff_multiplier = 2.0;      // per additional attempt
+  std::size_t backoff_max_steps = 64;   // cap on any single wait
+  // Wait in engine steps before retry number `attempt` (1-based).
+  std::size_t backoff_steps(int attempt) const;
+};
+
+// Overload admission control: past the utilization threshold, best_effort
+// picks are *rejected* (cancelled through the retry path) instead of merely
+// waiting — freeing queue pressure for classes with SLOs. Utilization counts
+// pages in use plus pages already reserved by this step's earlier admissions.
+struct AdmissionControl {
+  double reject_best_effort_utilization = 0.0;  // 0 = off
+};
 
 struct ServeConfig {
   int n_layer = 1;
@@ -189,6 +213,24 @@ struct ServeConfig {
   // their relative-error bound — O(buckets) memory however long the fleet
   // runs.
   bool retain_latency_samples = true;
+
+  // --- Fault tolerance & graceful degradation (src/fault/) ---
+  // Deterministic fault plan: degraded/stalled DRAM channels, transient
+  // allocation failures, request aborts. Null or empty keeps the engine
+  // bit-identical to a fault-free run (tests/fault_test.cpp enforces it).
+  // The plan must outlive the engine — channel fault specs are wired into
+  // the memsim channels by pointer.
+  const fault::FaultPlan* faults = nullptr;
+  // Cancel requests whose deadline (ArrivalEvent::deadline_steps, defaulting
+  // to the latency SLO) has passed. Off, deadlines are never consulted and
+  // VictimCandidate::slack_steps stays kNoSlack for every candidate.
+  bool enforce_deadlines = false;
+  RetryPolicy retry;
+  AdmissionControl admission;
+  // Closed-loop graceful degradation (fault/degradation.h): observes pool
+  // pressure + interactive SLO attainment and tightens pruning thresholds /
+  // cache headroom per class, best_effort first, shedding at the top level.
+  fault::DegradationConfig degradation;
 };
 
 // Per-priority-class slice of the fleet metrics: latency distributions,
@@ -217,6 +259,15 @@ struct ClassMetrics {
   std::size_t slo_ttft_met = 0;
   std::size_t slo_latency_tracked = 0;
   std::size_t slo_latency_met = 0;
+
+  // Resilience outcomes (all zero without faults/deadlines/admission
+  // control; see the FleetMetrics twins for semantics).
+  std::size_t failed = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t degraded_tokens = 0;
 
   void record_ttft(double cycles, bool retain_samples);
   void record_latency(double cycles, bool retain_samples);
@@ -278,6 +329,23 @@ struct FleetMetrics {
   obs::LogHistogram ttft_cycle_hist;
   obs::LogHistogram request_latency_hist;
   obs::LogHistogram queue_wait_hist;
+
+  // Resilience outcomes (src/fault/). requests_failed counts terminal
+  // non-success: retries exhausted or a deadline cancellation. aborts counts
+  // every fault/deadline cancellation (including ones later retried);
+  // rejections counts admission-control rejections of best_effort picks;
+  // retries counts backoff re-queues; degraded_tokens counts decode tokens
+  // generated while the request's class was running under a nonzero
+  // degradation notch. All stay zero when faults/deadlines/admission control/
+  // the controller are off.
+  std::size_t requests_failed = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t degraded_tokens = 0;
+  std::uint64_t degradation_level_changes = 0;
+  int degradation_level = 0;  // controller level when the run ended
 
   std::size_t pool_peak_pages = 0;
   std::uint64_t pool_reuses = 0;
@@ -403,6 +471,27 @@ class ServeEngine {
   ClassMetrics& class_metrics(const Request& request) {
     return metrics_.per_class[static_cast<std::size_t>(request.priority())];
   }
+  // --- Fault/deadline/retry machinery (src/fault/) ---
+  enum class CancelReason { fault, deadline, rejected };
+  // Deadline in engine steps from the arrival step (explicit deadline_steps,
+  // else the latency SLO); 0 = none.
+  std::size_t effective_deadline_steps(const Request& request) const;
+  // Remaining slack for victim selection; kNoSlack when enforcement is off
+  // or the request carries no deadline.
+  long long deadline_slack(const Request& request) const;
+  // Step-start sequential phase: re-queue due backoff requests, fire the
+  // plan's abort faults, cancel past-deadline requests.
+  void process_retries_and_faults();
+  // Removes `request` from wherever it lives (queue / running / backoff),
+  // releasing pages, cache entries, and same-step recorded work exactly once
+  // and resetting the prefill cursor, then either schedules a retry (backoff)
+  // or fails it terminally. Progress (generated tokens) is retained — a retry
+  // replays prompt+generated like preemption-recompute.
+  void cancel_request(std::size_t request, CancelReason reason);
+  void fail_request(std::size_t request);
+  // Degradation controller cadence: publish pool/SLO signals, observe, and
+  // refresh the per-class threshold-scale/headroom caches on level changes.
+  void update_degradation();
   void admit_due_requests();
   // All three return false when `request` was self-preempted mid-call (the
   // policy refused to sacrifice any running request for it) — the caller
@@ -471,6 +560,22 @@ class ServeEngine {
   FleetMetrics metrics_;
   double fragmentation_sum_ = 0.0;
   std::size_t fragmentation_samples_ = 0;
+
+  // Fault-tolerance state (all inert when ServeConfig::faults is null/empty
+  // and the controller is disabled). Everything here is owned by the main
+  // thread's step-domain phases — the pipelined lane never touches it.
+  fault::FaultInjector injector_;
+  fault::DegradationController degrade_;
+  obs::MetricsRegistry degrade_signals_;  // controller input gauges
+  std::vector<std::size_t> backoff_;      // requests in RequestState::backoff
+  std::vector<std::size_t> retry_scratch_;
+  // Per-class caches of the controller's knobs, refreshed on level changes;
+  // identity (1.0) while the controller is disabled or at level 0.
+  std::array<double, wl::kPriorityCount> degrade_scale_{{1.0, 1.0, 1.0}};
+  std::array<float, wl::kPriorityCount> degrade_headroom_{{1.0f, 1.0f, 1.0f}};
+  // Interactive TTFT-SLO window snapshot between controller evaluations.
+  std::size_t slo_window_tracked_ = 0;
+  std::size_t slo_window_met_ = 0;
 
   // Observability taps (read-only with respect to engine state).
   obs::TraceRecorder* trace_ = nullptr;

@@ -117,6 +117,7 @@ std::vector<ArrivalEvent> make_priority_mix_trace(
         event.decode_len = uniform_len(r, m.decode_min, m.decode_max);
         event.slo_ttft_steps = m.slo_ttft_steps;
         event.slo_latency_steps = m.slo_latency_steps;
+        event.deadline_steps = m.deadline_steps;
         event.stream_seed = r.next_u64();
       });
 }

@@ -61,6 +61,13 @@ struct ArrivalEvent {
   Priority priority = Priority::interactive;
   std::size_t slo_ttft_steps = 0;
   std::size_t slo_latency_steps = 0;
+  // Hard deadline in engine steps from arrival (0 = none). A request still
+  // unfinished past its deadline is *cancelled* by the engine when deadline
+  // enforcement is on (ServeConfig::enforce_deadlines) — unlike an SLO, which
+  // only scores attainment. When 0 the engine defaults the deadline from
+  // slo_latency_steps (a missed latency SLO is worthless work), so existing
+  // traces get deadlines for free; set explicitly to decouple the two.
+  std::size_t deadline_steps = 0;
 };
 
 // Generates `num_requests` arrivals, ordered by step. Request ids are dense
@@ -80,6 +87,7 @@ struct PriorityClassMix {
   std::size_t decode_max = 64;
   std::size_t slo_ttft_steps = 0;     // 0 = no TTFT SLO
   std::size_t slo_latency_steps = 0;  // 0 = no latency SLO
+  std::size_t deadline_steps = 0;     // 0 = default from slo_latency_steps
 };
 
 // Mixed-QoS arrival trace: the arrival *process* (Poisson/bursty timing)

@@ -186,6 +186,58 @@ TEST(CostAwareVictim, PicksCheapestReplayPerPageWithinLowestClass) {
   EXPECT_EQ(classy[victim].request, 8u);
 }
 
+TEST(CostAwareVictim, PrefersVictimsWithMoreDeadlineSlack) {
+  CostAwareVictim policy;
+  const auto with_slack = [](VictimCandidate c, long long slack) {
+    c.slack_steps = slack;
+    return c;
+  };
+  std::size_t victim = 99;
+
+  // Slack dominates cost within a class: the near-deadline request (slack 2)
+  // keeps running even though its replay is dirt cheap — preempting it would
+  // turn its remaining work into a guaranteed deadline miss.
+  const std::vector<VictimCandidate> slacky{
+      with_slack(running(1, wl::Priority::batch, 0, /*pages=*/1, /*replay=*/1),
+                 /*slack=*/2),
+      with_slack(
+          running(2, wl::Priority::batch, 1, /*pages=*/1, /*replay=*/1u << 20),
+          /*slack=*/500),
+  };
+  ASSERT_TRUE(policy.pick_victim(slacky, wl::Priority::batch, &victim));
+  EXPECT_EQ(slacky[victim].request, 2u);
+
+  // A candidate with no deadline at all (kNoSlack) is sacrificed ahead of any
+  // deadline-bearing peer, however loose that peer's deadline is.
+  const std::vector<VictimCandidate> mixed{
+      with_slack(running(3, wl::Priority::batch, 0), /*slack=*/100000),
+      running(4, wl::Priority::batch, 1),  // no deadline
+  };
+  ASSERT_TRUE(policy.pick_victim(mixed, wl::Priority::batch, &victim));
+  EXPECT_EQ(mixed[victim].request, 4u);
+
+  // Equal slack falls through to the replay-bits-per-page cost order — the
+  // deadline tiebreak never scrambles the deadline-free ordering (every
+  // candidate at kNoSlack is exactly the pre-deadline comparator).
+  const std::vector<VictimCandidate> equal{
+      with_slack(running(5, wl::Priority::batch, 0, /*pages=*/2, /*replay=*/6000),
+                 /*slack=*/8),
+      with_slack(running(6, wl::Priority::batch, 1, /*pages=*/8, /*replay=*/8000),
+                 /*slack=*/8),
+  };
+  ASSERT_TRUE(policy.pick_victim(equal, wl::Priority::batch, &victim));
+  EXPECT_EQ(equal[victim].request, 6u);  // 1000 bits/page < 3000 bits/page
+
+  // Class still dominates slack: a blown-deadline best_effort request is
+  // preempted before a comfortable batch one.
+  const std::vector<VictimCandidate> classy{
+      with_slack(running(7, wl::Priority::batch, 0), /*slack=*/1000),
+      with_slack(running(8, wl::Priority::best_effort, 1), /*slack=*/-5),
+  };
+  ASSERT_TRUE(policy.pick_victim(classy, wl::Priority::batch, &victim));
+  EXPECT_EQ(classy[victim].request, 8u);
+}
+
 // ---- queue re-entry position ------------------------------------------------
 
 TEST(RequestQueue, PreemptedReentersAtTheFront) {

@@ -189,6 +189,12 @@ void expect_class_metrics_identical(const ClassMetrics& a,
   EXPECT_EQ(a.slo_ttft_met, b.slo_ttft_met);
   EXPECT_EQ(a.slo_latency_tracked, b.slo_latency_tracked);
   EXPECT_EQ(a.slo_latency_met, b.slo_latency_met);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.rejections, b.rejections);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.degraded_tokens, b.degraded_tokens);
 }
 
 void expect_metrics_identical(const FleetMetrics& a, const FleetMetrics& b) {
@@ -214,6 +220,14 @@ void expect_metrics_identical(const FleetMetrics& a, const FleetMetrics& b) {
   EXPECT_EQ(a.pool_peak_pages, b.pool_peak_pages);
   EXPECT_EQ(a.pool_reuses, b.pool_reuses);
   EXPECT_EQ(a.pages_reclaimed, b.pages_reclaimed);
+  EXPECT_EQ(a.requests_failed, b.requests_failed);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.rejections, b.rejections);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.degraded_tokens, b.degraded_tokens);
+  EXPECT_EQ(a.degradation_level_changes, b.degradation_level_changes);
+  EXPECT_EQ(a.degradation_level, b.degradation_level);
   EXPECT_DOUBLE_EQ(a.avg_fragmentation, b.avg_fragmentation);
   for (std::size_t c = 0; c < wl::kPriorityCount; ++c) {
     expect_class_metrics_identical(a.per_class[c], b.per_class[c]);
