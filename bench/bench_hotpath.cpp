@@ -200,6 +200,10 @@ struct RunResult {
   double tokens_per_s = 0.0;
   std::uint64_t rescales = 0;
   std::vector<float> checksum;  // concatenated final-step outputs
+  // End-of-run host KV footprint across all (layer, head) caches (the
+  // kv_residency JSON section; f32_mirror must read 0).
+  QuantizedKvCache::ResidencyBytes residency;
+  std::size_t resident_tokens = 0;
 };
 
 wl::DecodeStream make_stream(const Scenario& s) {
@@ -293,8 +297,10 @@ RunResult run_cached(const Scenario& s, const wl::DecodeStream& stream,
   std::vector<serve::PagedSequence> seqs;
   std::vector<PrunePersistence> persistence;
   std::vector<QuantizedKvCache> qcaches;
+  std::vector<serve::PagedRescaleSource> sources;
   seqs.reserve(n_inst);
   qcaches.reserve(n_inst);
+  sources.reserve(n_inst);
   TokenPickerConfig config;
   config.estimator.threshold = s.threshold;
   config.compute_oracle_mass = false;  // serve hot loops run without oracle
@@ -303,6 +309,10 @@ RunResult run_cached(const Scenario& s, const wl::DecodeStream& stream,
     persistence.emplace_back(s.persistence_window);
     qcaches.emplace_back(static_cast<std::size_t>(s.head_dim),
                          QuantizedKvCache::Config{config.quant, 1.0f});
+    // The pool pages are the rescale floats (stable ids == token ids); the
+    // cache keeps no mirror of its own.
+    sources.emplace_back(&seqs[i]);
+    qcaches[i].set_rescale_source(&sources[i]);
   }
   ThreadPool workers(threads);
   std::vector<std::unique_ptr<TokenPickerAttention>> pickers;
@@ -384,6 +394,13 @@ RunResult run_cached(const Scenario& s, const wl::DecodeStream& stream,
   result.tokens_per_s = static_cast<double>(s.decode_len) / result.seconds;
   for (const auto& qc : qcaches) {
     result.rescales += qc.key_rescales() + qc.value_rescales();
+    const auto res = qc.residency();
+    result.residency.int16_arena += res.int16_arena;
+    result.residency.planes += res.planes;
+    result.residency.maxima += res.maxima;
+    result.residency.ids += res.ids;
+    result.residency.f32_mirror += res.f32_mirror;
+    result.resident_tokens += qc.len();
   }
   return result;
 }
@@ -790,6 +807,39 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"speedup\": %.2f,\n", speedup);
   std::fprintf(out, "  \"whole_head_rescales\": %llu,\n",
                static_cast<unsigned long long>(cached[best].rescales));
+  // Host KV residency at end of run (context fully grown, post-reclaim),
+  // summed over every (layer, head) cache. f32_mirror_bytes is the retired
+  // float shadow — identically 0, and CI fails the run if it is not.
+  // pre_refactor_bytes_per_token adds back what the mirror used to keep
+  // (one float K row + one float V row per resident token) so the reduction
+  // is measured against the old footprint, not assumed.
+  {
+    const auto& res = cached[best].residency;
+    const std::size_t resident = cached[best].resident_tokens;
+    const double per_token =
+        resident ? static_cast<double>(res.total()) /
+                       static_cast<double>(resident)
+                 : 0.0;
+    const double mirror_per_token =
+        static_cast<double>(scenario.head_dim) * 2.0 * sizeof(float);
+    const double pre_refactor = per_token + mirror_per_token;
+    const double reduction =
+        pre_refactor > 0.0 ? mirror_per_token / pre_refactor : 0.0;
+    std::printf("  kv residency: %zu tokens resident, %.1f B/token "
+                "(int16+planes+maxima+ids), f32 mirror 0 B — was %.1f "
+                "B/token, -%.1f%%\n",
+                resident, per_token, pre_refactor, 100.0 * reduction);
+    std::fprintf(
+        out,
+        "  \"kv_residency\": {\"resident_tokens\": %zu, "
+        "\"int16_arena_bytes\": %zu, \"plane_bytes\": %zu, "
+        "\"maxima_bytes\": %zu, \"ids_bytes\": %zu, "
+        "\"f32_mirror_bytes\": %zu, \"bytes_per_token\": %.1f, "
+        "\"pre_refactor_bytes_per_token\": %.1f, "
+        "\"reduction_frac\": %.3f},\n",
+        resident, res.int16_arena, res.planes, res.maxima, res.ids,
+        res.f32_mirror, per_token, pre_refactor, reduction);
+  }
   std::fprintf(
       out,
       "  \"pipeline_comparison\": {\"threads\": %zu, "

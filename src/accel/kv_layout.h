@@ -6,6 +6,15 @@
 // "in sequence" (paper §3.2 step 1) while downstream chunks arrive on
 // demand.
 //
+// This is the same chunk-planar shape the host cache is resident in
+// (core/quantized_kv_cache.h: contiguous int16 plane per chunk, token-major,
+// plus flat int16 value rows — the only copy now that the f32 mirror is
+// retired). The two differ only in element width: the device packs chunks at
+// chunk_bits, the host stores int16. AccelConfig::host_resident_layout
+// switches the granule math to the host width so the cycle model charges
+// exactly the contiguity the host walks; the plane → bank-group mapping is
+// shared by both.
+//
 // Bank-group mapping: naively stacking planes puts every plane in the same
 // rows of the same banks, so the out-of-order mixture of chunk-0 and
 // chunk-1 requests ping-pongs each bank's row buffer (measured: row-hit

@@ -173,8 +173,6 @@ QuantizedKvCache::QuantizedKvCache(std::size_t head_dim, const Config& config)
 
 void QuantizedKvCache::clear() {
   store_.reset(config_.base, config_.base, head_dim_);
-  key_f32_.clear();
-  value_f32_.clear();
   key_row_amax_.clear();
   value_row_amax_.clear();
   key_amax_ = 0.0f;
@@ -184,27 +182,68 @@ void QuantizedKvCache::clear() {
   value_rescales_ = 0;
 }
 
-std::span<const float> QuantizedKvCache::key_f32(std::size_t pos) const {
-  return {key_f32_.data() + pos * head_dim_, head_dim_};
+QuantizedKvCache::ResidencyBytes QuantizedKvCache::residency() const {
+  ResidencyBytes b;
+  b.int16_arena =
+      (store_.keys.size() + store_.values.size()) * sizeof(std::int16_t);
+  for (const auto& plane : store_.key_planes) {
+    b.planes += plane.size() * sizeof(std::int16_t);
+  }
+  b.maxima =
+      (key_row_amax_.size() + value_row_amax_.size() + 2) * sizeof(float);
+  b.ids = ids_.size() * sizeof(std::size_t);
+  b.f32_mirror = 0;  // the mirror is gone; reported so benches can assert it
+  return b;
 }
 
-std::span<const float> QuantizedKvCache::value_f32(std::size_t pos) const {
-  return {value_f32_.data() + pos * head_dim_, head_dim_};
-}
-
-void QuantizedKvCache::requantize_all() {
-  store_.clear_rows();
+// Re-grids every row already in the store under the (just-updated) shared
+// scales. Covers exactly store_.len rows: append paths call this BEFORE
+// pushing their new rows, whose floats are still at hand and are quantized
+// directly under the new scale afterward.
+void QuantizedKvCache::requantize_all(float old_key_scale,
+                                      float old_value_scale) {
+  const std::size_t n = store_.len;
   k_row_scratch_.resize(head_dim_);
   v_row_scratch_.resize(head_dim_);
-  const std::size_t n = ids_.size();
+  if (source_ != nullptr) {
+    // Float-sourced: re-read the original rows by stable id — bit-identical
+    // to quantizing the live set from scratch (the headroom-1 contract).
+    store_.clear_rows();
+    for (std::size_t r = 0; r < n; ++r) {
+      quantize_row({source_->key_row(ids_[r]), head_dim_}, store_.key_params,
+                   k_row_scratch_.data());
+      quantize_row({source_->value_row(ids_[r]), head_dim_},
+                   store_.value_params, v_row_scratch_.data());
+      store_.push_row(k_row_scratch_.data(), v_row_scratch_.data());
+    }
+    return;
+  }
+  // Sourceless fallback: re-grid the stored int16 rows through a precomputed
+  // fixed-point scale ratio (fx::rescale_row_i16). One extra re-rounding per
+  // rescale — within 1 ULP of the real-ratio grid, bounded and pinned by
+  // tests — in exchange for needing no floats at all. The arenas are
+  // snapshotted first because push_row rebuilds the planes row by row.
+  const fx::FixedRatio k_ratio =
+      fx::make_fixed_ratio(old_key_scale, store_.key_params.scale);
+  const fx::FixedRatio v_ratio =
+      fx::make_fixed_ratio(old_value_scale, store_.value_params.scale);
+  k_arena_scratch_.assign(store_.keys.begin(), store_.keys.end());
+  v_arena_scratch_.assign(store_.values.begin(), store_.values.end());
+  store_.clear_rows();
   for (std::size_t r = 0; r < n; ++r) {
-    quantize_row(key_f32(r), store_.key_params, k_row_scratch_.data());
-    quantize_row(value_f32(r), store_.value_params, v_row_scratch_.data());
+    fx::rescale_row_i16(k_arena_scratch_.data() + r * head_dim_, head_dim_,
+                        k_ratio, store_.key_params.qmin(),
+                        store_.key_params.qmax(), k_row_scratch_.data());
+    fx::rescale_row_i16(v_arena_scratch_.data() + r * head_dim_, head_dim_,
+                        v_ratio, store_.value_params.qmin(),
+                        store_.value_params.qmax(), v_row_scratch_.data());
     store_.push_row(k_row_scratch_.data(), v_row_scratch_.data());
   }
 }
 
 bool QuantizedKvCache::ensure_scales(float key_amax, float value_amax) {
+  const float old_key_scale = store_.key_params.scale;
+  const float old_value_scale = store_.value_params.scale;
   const float k_target = scale_for_amax(key_amax, store_.key_params.total_bits);
   const float v_target =
       scale_for_amax(value_amax, store_.value_params.total_bits);
@@ -245,7 +284,7 @@ bool QuantizedKvCache::ensure_scales(float key_amax, float value_amax) {
   }
   key_amax_ = key_amax;
   value_amax_ = value_amax;
-  if (requant) requantize_all();
+  if (requant) requantize_all(old_key_scale, old_value_scale);
   return requant;
 }
 
@@ -269,17 +308,14 @@ void QuantizedKvCache::append(std::span<const float> k,
           "QuantizedKvCache::append: head_dim mismatch");
   const float ka = row_amax(k);
   const float va = row_amax(v);
-  key_f32_.insert(key_f32_.end(), k.begin(), k.end());
-  value_f32_.insert(value_f32_.end(), v.begin(), v.end());
   key_row_amax_.push_back(ka);
   value_row_amax_.push_back(va);
   ids_.push_back(id);
-  // A record-setting row triggers the whole-head requantize, which rebuilds
-  // every row (this one included) from the retained floats; otherwise only
-  // the new row is quantized.
-  if (!ensure_scales(std::max(key_amax_, ka), std::max(value_amax_, va))) {
-    push_quantized(k.data(), v.data());
-  }
+  // A record-setting row triggers the whole-head requantize of the rows
+  // already stored; the new row's floats are at hand either way, so it is
+  // always quantized exactly under the (possibly fresh) scale.
+  ensure_scales(std::max(key_amax_, ka), std::max(value_amax_, va));
+  push_quantized(k.data(), v.data());
 }
 
 void QuantizedKvCache::append_rows(const float* k_rows, const float* v_rows,
@@ -288,8 +324,6 @@ void QuantizedKvCache::append_rows(const float* k_rows, const float* v_rows,
   if (count == 0) return;
   float ka = key_amax_;
   float va = value_amax_;
-  key_f32_.insert(key_f32_.end(), k_rows, k_rows + count * head_dim_);
-  value_f32_.insert(value_f32_.end(), v_rows, v_rows + count * head_dim_);
   for (std::size_t r = 0; r < count; ++r) {
     const float rka = row_amax({k_rows + r * head_dim_, head_dim_});
     const float rva = row_amax({v_rows + r * head_dim_, head_dim_});
@@ -299,13 +333,12 @@ void QuantizedKvCache::append_rows(const float* k_rows, const float* v_rows,
     value_row_amax_.push_back(rva);
     ids_.push_back(first_id + r);
   }
-  // At most one whole-head requantize for the batch; it rebuilds the batch
-  // rows too (their floats are already in place), so only quantize them here
-  // when no rescale fired.
-  if (!ensure_scales(ka, va)) {
-    for (std::size_t r = 0; r < count; ++r) {
-      push_quantized(k_rows + r * head_dim_, v_rows + r * head_dim_);
-    }
+  // At most one whole-head requantize for the batch — the scale target is
+  // computed over ALL batch maxima before any batch row is quantized, so
+  // every batch row lands on the final grid directly from its floats.
+  ensure_scales(ka, va);
+  for (std::size_t r = 0; r < count; ++r) {
+    push_quantized(k_rows + r * head_dim_, v_rows + r * head_dim_);
   }
 }
 
@@ -336,21 +369,12 @@ std::size_t QuantizedKvCache::evict_ids(std::span<const std::size_t> ids) {
   for (std::size_t r = 0; r < n; ++r) {
     if (!keep_scratch_[r]) continue;
     if (w != r) {
-      std::copy_n(key_f32_.begin() + static_cast<std::ptrdiff_t>(r * head_dim_),
-                  head_dim_,
-                  key_f32_.begin() + static_cast<std::ptrdiff_t>(w * head_dim_));
-      std::copy_n(
-          value_f32_.begin() + static_cast<std::ptrdiff_t>(r * head_dim_),
-          head_dim_,
-          value_f32_.begin() + static_cast<std::ptrdiff_t>(w * head_dim_));
       key_row_amax_[w] = key_row_amax_[r];
       value_row_amax_[w] = value_row_amax_[r];
       ids_[w] = ids_[r];
     }
     ++w;
   }
-  key_f32_.resize(w * head_dim_);
-  value_f32_.resize(w * head_dim_);
   key_row_amax_.resize(w);
   value_row_amax_.resize(w);
   ids_.resize(w);
@@ -368,22 +392,79 @@ std::size_t QuantizedKvCache::evict_ids(std::span<const std::size_t> ids) {
 
 // ---- helpers ----------------------------------------------------------------
 
+namespace {
+
+// The sync's float-row provider: stable ids ARE view positions (the sync
+// numbers rows 0..len-1), so a suffix-append rescale re-reads exact floats
+// and stays bit-identical to from-scratch. Lives only for the duration of
+// one sync_cache_to_view call.
+class ViewRescaleSource final : public RescaleSource {
+ public:
+  explicit ViewRescaleSource(const KvHeadView& view) : view_(&view) {}
+  const float* key_row(std::size_t id) const override {
+    return view_->key(id).data();
+  }
+  const float* value_row(std::size_t id) const override {
+    return view_->value(id).data();
+  }
+
+ private:
+  const KvHeadView* view_;
+};
+
+// Restart witness without retained floats, three checks deep:
+//   1. the last shared row's stable id must be its view position (a cache
+//      adopted from any view always numbers 0..len-1);
+//   2. its recorded per-row max|x| must equal a fresh reduction over the
+//      view's floats (catches almost every overwrite on its own);
+//   3. the view row re-quantized under the cache's CURRENT params must
+//      reproduce the stored int16 bits (catches an overwrite that kept the
+//      row's amax — e.g. a permutation of the same values).
+// A false negative is impossible at headroom 1: stored bits are always
+// quantize(floats, current params) for an untouched sequence.
+bool tail_matches_view(const QuantizedKvCache& cache, const KvHeadView& view,
+                       std::size_t pos) {
+  if (cache.id_at(pos) != pos) return false;
+  const auto vk = view.key(pos);
+  const auto vv = view.value(pos);
+  if (fx::row_amax(vk) != cache.key_row_amax(pos) ||
+      fx::row_amax(vv) != cache.value_row_amax(pos)) {
+    return false;
+  }
+  static thread_local std::vector<std::int16_t> scratch;
+  scratch.resize(view.head_dim);
+  const QuantizedKvView qv = cache.view();
+  fx::quantize_row_i16(vk.data(), vk.size(), cache.key_params(),
+                       scratch.data());
+  if (!std::equal(scratch.begin(), scratch.end(), qv.key(pos))) return false;
+  fx::quantize_row_i16(vv.data(), vv.size(), cache.value_params(),
+                       scratch.data());
+  return std::equal(scratch.begin(), scratch.end(), qv.value(pos));
+}
+
+}  // namespace
+
 void sync_cache_to_view(QuantizedKvCache& cache, const KvHeadView& view) {
   const std::size_t n = cache.len();
+  // Register the view as the rescale source for the duration of the sync
+  // (restoring the caller's source on every exit path): rebuilds and
+  // suffix-append rescales then re-read exact floats from the view.
+  const ViewRescaleSource source(view);
+  struct RestoreSource {
+    QuantizedKvCache* cache;
+    const RescaleSource* previous;
+    ~RestoreSource() { cache->set_rescale_source(previous); }
+  } restore{&cache, cache.rescale_source()};
+  cache.set_rescale_source(&source);
+
   if (view.len < n) {
     cache.rebuild(view);
     return;
   }
-  if (n > 0) {
-    // Guard against a restarted sequence of the same-or-longer length: the
-    // last shared row (keys AND values) must still hold the same floats.
-    const auto ck = cache.key_f32(n - 1);
-    const auto cv = cache.value_f32(n - 1);
-    if (!std::equal(ck.begin(), ck.end(), view.key(n - 1).begin()) ||
-        !std::equal(cv.begin(), cv.end(), view.value(n - 1).begin())) {
-      cache.rebuild(view);
-      return;
-    }
+  if (n > 0 && !tail_matches_view(cache, view, n - 1)) {
+    // A restarted sequence of the same-or-longer length.
+    cache.rebuild(view);
+    return;
   }
   if (view.len > n) {
     cache.append_rows(view.keys + n * view.head_dim,

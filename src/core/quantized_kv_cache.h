@@ -150,6 +150,31 @@ struct QuantizedKvStore {
   QuantizedKvView view() const;
 };
 
+// Float-row provider for whole-head rescales, keyed by the caller's stable
+// token ids. The cache itself retains NO floats (the f32 mirror is gone —
+// per-row maxima + ids are its only float-domain residue); when a rescale
+// fires it re-reads the original rows from whoever still owns them:
+//   * the serve paged pool (serve/paged_sequence.h) — rows live in pool
+//     pages under the same ids until swept, and eviction rescales run
+//     before the sweep;
+//   * sync_cache_to_view's float view — rows 0..len-1 by position for the
+//     duration of the sync (backends never rescale outside it).
+// With a source registered, a headroom-1 rescale is bit-identical to
+// quantize-from-scratch, exactly like the old mirror. Without one the cache
+// falls back to the int-domain ratio rescale (rescale_row_i16): each
+// surviving row is re-gridded from its current int16 values with a
+// precomputed fixed-point ratio, which adds at most one re-rounding of
+// bounded size per rescale (within 1 ULP of the real-ratio grid; pinned by
+// tests/quantized_kv_cache_test.cpp) instead of re-reading exact floats.
+// Returned pointers must stay valid for the duration of the rescale call
+// and must only be queried for ids currently resident in the cache.
+class RescaleSource {
+ public:
+  virtual ~RescaleSource() = default;
+  virtual const float* key_row(std::size_t id) const = 0;
+  virtual const float* value_row(std::size_t id) const = 0;
+};
+
 class QuantizedKvCache {
  public:
   struct Config {
@@ -195,9 +220,32 @@ class QuantizedKvCache {
 
   const std::vector<std::size_t>& ids() const { return ids_; }
   std::size_t id_at(std::size_t pos) const { return ids_[pos]; }
-  // Retained float rows (the rescale source, and the sync guard's witness).
-  std::span<const float> key_f32(std::size_t pos) const;
-  std::span<const float> value_f32(std::size_t pos) const;
+  // Per-row max|x| as recorded at append (the scale bookkeeping, and the
+  // sync guard's restart witness now that no floats are retained).
+  float key_row_amax(std::size_t pos) const { return key_row_amax_[pos]; }
+  float value_row_amax(std::size_t pos) const { return value_row_amax_[pos]; }
+
+  // Registers (or clears, with nullptr) the float-row provider used by
+  // whole-head rescales; not owned. See RescaleSource for the contract.
+  void set_rescale_source(const RescaleSource* source) { source_ = source; }
+  const RescaleSource* rescale_source() const { return source_; }
+
+  // Resident host bytes, split by arena — what one head of this cache
+  // actually keeps alive per token (BENCH_hotpath.json's kv_residency
+  // section and the serve fleet gauges aggregate these). f32_mirror is the
+  // retired float shadow; it is identically 0 and stays in the report so
+  // the absence is measured, not assumed.
+  struct ResidencyBytes {
+    std::size_t int16_arena = 0;  // flat key + value rows
+    std::size_t planes = 0;       // chunk-planar key planes
+    std::size_t maxima = 0;       // per-row amax pairs + running maxima
+    std::size_t ids = 0;          // stable token ids
+    std::size_t f32_mirror = 0;   // always 0 since the mirror's removal
+    std::size_t total() const {
+      return int16_arena + planes + maxima + ids + f32_mirror;
+    }
+  };
+  ResidencyBytes residency() const;
 
   QuantizedKvView view() const { return store_.view(); }
   const fx::QuantParams& key_params() const { return store_.key_params; }
@@ -210,27 +258,38 @@ class QuantizedKvCache {
 
  private:
   // Adjusts the shared scales for new live maxima; when a scale changes it
-  // re-quantizes every row from the retained floats and returns true.
+  // re-quantizes every stored row (from the registered source's floats, or
+  // int-domain when sourceless) and returns true.
   bool ensure_scales(float key_amax, float value_amax);
-  void requantize_all();
+  void requantize_all(float old_key_scale, float old_value_scale);
   void push_quantized(const float* k_row, const float* v_row);
 
   Config config_;
   std::size_t head_dim_ = 0;
   QuantizedKvStore store_;
-  std::vector<float> key_f32_, value_f32_;        // (len, head_dim)
+  const RescaleSource* source_ = nullptr;  // not owned; may be null
   std::vector<float> key_row_amax_, value_row_amax_;
   float key_amax_ = 0.0f, value_amax_ = 0.0f;
   std::vector<std::size_t> ids_;
   std::uint64_t key_rescales_ = 0, value_rescales_ = 0;
   std::vector<std::int16_t> k_row_scratch_, v_row_scratch_;
+  // Sourceless rescales re-grid in place from a snapshot of the old arenas
+  // (push_row rebuilds the planes, so the old rows must survive clear_rows).
+  std::vector<std::int16_t> k_arena_scratch_, v_arena_scratch_;
   std::vector<std::uint8_t> keep_scratch_;
   std::vector<std::size_t> evict_scratch_;
 };
 
 // Append-only sync for transformer decode: grows `cache` by the view's new
 // suffix rows; rebuilds from scratch when the view shrank or the last shared
-// row's floats diverged (a sequence restarted without begin_sequence()).
+// row diverged (a sequence restarted without begin_sequence()). The guard
+// witnesses the divergence without retained floats: stable ids must read
+// 0..n-1 (view positions), the last shared row's recorded amax must equal a
+// fresh fx::row_amax over the view's floats, and that row re-quantized under
+// the cache's current params must reproduce the stored int16 bits. For the
+// duration of the call the view itself is registered as the cache's
+// RescaleSource, so a suffix-append rescale stays bit-identical to
+// from-scratch; the cache's previous source is restored before returning.
 void sync_cache_to_view(QuantizedKvCache& cache, const KvHeadView& view);
 
 // Exact quantized attention over a planar view — bit-identical to

@@ -7,15 +7,46 @@
 // -mavx512* simply produces a shorter registry instead of a link error.
 #include "fixedpoint/dispatch.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <vector>
 
 #include "fixedpoint/kernels.h"
 
 namespace topick::fx {
+
+// One float divide + frexp per whole-head rescale; the rows then see only
+// integer math (FixedRatio's contract in dispatch.h). The double quotient is
+// split into mantissa * 2^-shift with the mantissa rounded into [2^30, 2^31]
+// — 31 significant bits, so round(q * ratio) through this grid differs from
+// the real-arithmetic round by at most 1 for any int16 q (pinned by
+// dispatch_test's ratio-grid suite).
+FixedRatio make_fixed_ratio(float old_scale, float new_scale) {
+  const double ratio =
+      static_cast<double>(old_scale) / static_cast<double>(new_scale);
+  if (!(ratio > 0.0) || std::isinf(ratio)) return {0, 0};
+  int exp = 0;
+  const double frac = std::frexp(ratio, &exp);  // frac in [0.5, 1)
+  auto mant = static_cast<std::uint64_t>(std::llround(std::ldexp(frac, 31)));
+  int shift = 31 - exp;
+  while (shift < 0 && mant <= std::numeric_limits<std::uint32_t>::max() / 2) {
+    mant <<= 1;
+    ++shift;
+  }
+  if (shift < 0) {
+    // ratio >= ~2^31: every nonzero element saturates either way.
+    return {std::numeric_limits<std::uint32_t>::max(), 0};
+  }
+  if (shift > 62) {
+    // ratio < ~2^-31: every int16 element rounds to zero either way.
+    return {0, 0};
+  }
+  return {static_cast<std::uint32_t>(mant), shift};
+}
 
 namespace detail {
 std::atomic<const KernelTable*> g_active{nullptr};

@@ -1,4 +1,4 @@
-// Runtime ISA dispatch for the four decode hot kernels (ROADMAP item 2).
+// Runtime ISA dispatch for the decode hot kernels (ROADMAP item 2).
 //
 // PR 5 selected the SIMD kernels at *compile* time (`-march=native` behind
 // TOPICK_NATIVE_ARCH), which no distributable binary can require and which
@@ -45,7 +45,23 @@ enum class IsaLevel : int {
 
 const char* isa_name(IsaLevel level);
 
-// One ISA variant of the four hot kernels. All entries are element-exact
+// Precomputed fixed-point representation of a positive scale ratio
+// old_scale / new_scale — mantissa / 2^shift, mantissa normalized into
+// [2^30, 2^31] so the relative representation error is <= 2^-31. The whole
+// float divide + frexp happens ONCE per whole-head rescale
+// (make_fixed_ratio); the per-element op is then a single integer multiply,
+// add, shift — no float touches the row. Degenerate ratios collapse to safe
+// grids: a ratio too small for any int16 to survive becomes {0, 0} (all
+// zeros), a ratio >= 2^31 saturates the mantissa (every nonzero element
+// clamps to qmax/qmin downstream, same result as the exact ratio).
+struct FixedRatio {
+  std::uint32_t mantissa = 0;
+  int shift = 0;  // in [0, 62]: (mag * mantissa + half) never overflows int64
+};
+
+FixedRatio make_fixed_ratio(float old_scale, float new_scale);
+
+// One ISA variant of the five hot kernels. All entries are element-exact
 // against the scalar references below (the registry's invariant).
 struct KernelTable {
   IsaLevel level = IsaLevel::scalar;
@@ -58,6 +74,9 @@ struct KernelTable {
                            const QuantParams& params,
                            std::int16_t* out) = nullptr;
   float (*row_amax)(const float* xs, std::size_t n) = nullptr;
+  void (*rescale_row_i16)(const std::int16_t* src, std::size_t n,
+                          FixedRatio ratio, std::int32_t qmin,
+                          std::int32_t qmax, std::int16_t* out) = nullptr;
 };
 
 // Scalar reference kernels (always compiled, portable TU — the equivalence
@@ -71,6 +90,15 @@ void weighted_value_accum_scalar(float* out, const std::int16_t* v, double p,
 // std::max(amax, std::abs(x)) fold (every SIMD variant matches this, pinned
 // by tests/dispatch_test.cpp).
 float row_amax_scalar(const float* xs, std::size_t n);
+// Int-domain row rescale: out[i] = clamp(round_half_away_from_zero(
+// |src[i]| * mantissa / 2^shift) * sign(src[i]), qmin, qmax), computed
+// exactly in int64 — the fallback requantize path when a cache holds no
+// float source (core/quantized_kv_cache.h). Precondition: qmin/qmax fit in
+// int16. src == out aliasing is allowed (each element is read before its
+// slot is written).
+void rescale_row_i16_scalar(const std::int16_t* src, std::size_t n,
+                            FixedRatio ratio, std::int32_t qmin,
+                            std::int32_t qmax, std::int16_t* out);
 
 // Every variant compiled into this binary, ascending by level (scalar is
 // always first). A variant whose per-file arch flags the compiler rejected
@@ -119,6 +147,19 @@ inline float row_amax(const float* xs, std::size_t n) {
 }
 inline float row_amax(std::span<const float> xs) {
   return row_amax(xs.data(), xs.size());
+}
+
+// Dispatched int-domain rescale (pure integer math — exact, so every variant
+// is bit-identical by construction; pinned per level by dispatch_test). Tiny
+// rows take the scalar loop rather than the indirect call.
+inline void rescale_row_i16(const std::int16_t* src, std::size_t n,
+                            FixedRatio ratio, std::int32_t qmin,
+                            std::int32_t qmax, std::int16_t* out) {
+  if (n < 16) {
+    rescale_row_i16_scalar(src, n, ratio, qmin, qmax, out);
+    return;
+  }
+  active_kernels().rescale_row_i16(src, n, ratio, qmin, qmax, out);
 }
 
 }  // namespace topick::fx

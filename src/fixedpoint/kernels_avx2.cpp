@@ -109,6 +109,56 @@ void quantize_row_i16_avx2(const float* xs, std::size_t n,
   if (i < n) quantize_row_i16_scalar(xs + i, n - i, params, out + i);
 }
 
+void rescale_row_i16_avx2(const std::int16_t* src, std::size_t n,
+                          FixedRatio ratio, std::int32_t qmin,
+                          std::int32_t qmax, std::int16_t* out) {
+  // The SSE4.1 algorithm at 256-bit width (see kernels_sse41.cpp for the
+  // exactness argument — pure integer math, so the lanes ARE the scalar
+  // sequence). mul_epu32 / slli_si256 operate per 128-bit lane, which is
+  // exactly the even/odd merge pattern this needs; the final pack goes
+  // through explicit 128-bit halves to preserve element order.
+  const __m256i mant = _mm256_set1_epi64x(ratio.mantissa);
+  const __m256i half = _mm256_set1_epi64x(
+      ratio.shift > 0 ? (std::int64_t{1} << (ratio.shift - 1)) : 0);
+  const __m128i shift = _mm_cvtsi32_si128(ratio.shift);
+  const __m256i i32max64 = _mm256_set1_epi64x(0x7fffffff);
+  const __m256i vqmax = _mm256_set1_epi32(qmax);
+  const __m256i vqmin = _mm256_set1_epi32(qmin);
+  const __m256i zero = _mm256_setzero_si256();
+  const auto rescale8 = [&](__m256i v32) {
+    const __m256i sign = _mm256_srai_epi32(v32, 31);
+    const __m256i mag = _mm256_abs_epi32(v32);
+    __m256i even = _mm256_mul_epu32(mag, mant);
+    __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(mag, 32), mant);
+    even = _mm256_srl_epi64(_mm256_add_epi64(even, half), shift);
+    odd = _mm256_srl_epi64(_mm256_add_epi64(odd, half), shift);
+    even = _mm256_blendv_epi8(
+        i32max64, even,
+        _mm256_cmpeq_epi64(_mm256_srli_epi64(even, 31), zero));
+    odd = _mm256_blendv_epi8(
+        i32max64, odd, _mm256_cmpeq_epi64(_mm256_srli_epi64(odd, 31), zero));
+    __m256i r = _mm256_or_si256(even, _mm256_slli_si256(odd, 4));
+    r = _mm256_sub_epi32(_mm256_xor_si256(r, sign), sign);
+    return _mm256_max_epi32(_mm256_min_epi32(r, vqmax), vqmin);
+  };
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v16 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = rescale8(
+        _mm256_cvtepi16_epi32(_mm256_castsi256_si128(v16)));
+    const __m256i hi = rescale8(
+        _mm256_cvtepi16_epi32(_mm256_extracti128_si256(v16, 1)));
+    const __m128i packed_lo = _mm_packs_epi32(_mm256_castsi256_si128(lo),
+                                              _mm256_extracti128_si256(lo, 1));
+    const __m128i packed_hi = _mm_packs_epi32(_mm256_castsi256_si128(hi),
+                                              _mm256_extracti128_si256(hi, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), packed_lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 8), packed_hi);
+  }
+  if (i < n) rescale_row_i16_scalar(src + i, n - i, ratio, qmin, qmax, out + i);
+}
+
 float row_amax_avx2(const float* xs, std::size_t n) {
   // max over |x| is order-independent (no rounding), so the vector reduction
   // is exact. Operand order matters for NaN: maxps returns its SECOND
@@ -142,6 +192,7 @@ const KernelTable& avx2_kernels() {
       IsaLevel::avx2,        "avx2",
       row_dot_i64_avx2,      weighted_value_accum_avx2,
       quantize_row_i16_avx2, row_amax_avx2,
+      rescale_row_i16_avx2,
   };
   return table;
 }

@@ -101,6 +101,45 @@ void quantize_row_i16_avx512(const float* xs, std::size_t n,
   if (i < n) quantize_row_i16_scalar(xs + i, n - i, params, out + i);
 }
 
+void rescale_row_i16_avx512(const std::int16_t* src, std::size_t n,
+                            FixedRatio ratio, std::int32_t qmin,
+                            std::int32_t qmax, std::int16_t* out) {
+  // The SSE4.1 algorithm at 512-bit width (pure integer math, exact by
+  // construction; see kernels_sse41.cpp). AVX-512 tidies two corners:
+  // min_epu64 replaces the compare-and-blend 64->32 saturation guard, and
+  // the order-preserving cvtsepi32_epi16 narrowing replaces the two-step
+  // pack (post-clamp lanes already fit int16).
+  const __m512i mant = _mm512_set1_epi64(ratio.mantissa);
+  const __m512i half = _mm512_set1_epi64(
+      ratio.shift > 0 ? (std::int64_t{1} << (ratio.shift - 1)) : 0);
+  const __m128i shift = _mm_cvtsi32_si128(ratio.shift);
+  const __m512i i32max64 = _mm512_set1_epi64(0x7fffffff);
+  const __m512i vqmax = _mm512_set1_epi32(qmax);
+  const __m512i vqmin = _mm512_set1_epi32(qmin);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i v32 = _mm512_cvtepi16_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    const __m512i sign = _mm512_srai_epi32(v32, 31);
+    const __m512i mag = _mm512_abs_epi32(v32);
+    __m512i even = _mm512_mul_epu32(mag, mant);
+    __m512i odd = _mm512_mul_epu32(_mm512_srli_epi64(mag, 32), mant);
+    even = _mm512_srl_epi64(_mm512_add_epi64(even, half), shift);
+    odd = _mm512_srl_epi64(_mm512_add_epi64(odd, half), shift);
+    even = _mm512_min_epu64(even, i32max64);
+    odd = _mm512_min_epu64(odd, i32max64);
+    // High dwords are zero after the min, so OR-merging the 4-byte-shifted
+    // odd lanes (bslli is per 128-bit lane, matching mul_epu32's even/odd
+    // split) restores element order.
+    __m512i r = _mm512_or_si512(even, _mm512_bslli_epi128(odd, 4));
+    r = _mm512_sub_epi32(_mm512_xor_si512(r, sign), sign);
+    r = _mm512_max_epi32(_mm512_min_epi32(r, vqmax), vqmin);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm512_cvtsepi32_epi16(r));
+  }
+  if (i < n) rescale_row_i16_scalar(src + i, n - i, ratio, qmin, qmax, out + i);
+}
+
 float row_amax_avx512(const float* xs, std::size_t n) {
   // Exact (max has no rounding); running max second so a NaN element keeps
   // the running max, like the scalar fold — see the AVX2 variant's note.
@@ -129,6 +168,7 @@ const KernelTable& avx512_kernels() {
       IsaLevel::avx512,        "avx512",
       row_dot_i64_avx512,      weighted_value_accum_avx512,
       quantize_row_i16_avx512, row_amax_avx512,
+      rescale_row_i16_avx512,
   };
   return table;
 }

@@ -74,6 +74,11 @@ const KernelTable& neon_kernels() {
 #else
       row_amax_scalar,
 #endif
+      // rescale_row_i16 needs 32x32->64 unsigned multiplies per element;
+      // NEON's vmull_u32 covers it, but the kernel only runs on whole-head
+      // rescales (rare by design) and ARM builds here are correctness
+      // targets — the scalar reference stays.
+      rescale_row_i16_scalar,
   };
   return table;
 }

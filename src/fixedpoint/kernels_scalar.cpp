@@ -49,6 +49,28 @@ void quantize_row_i16_scalar(const float* xs, std::size_t n,
   }
 }
 
+// The int-domain rescale reference. Magnitude-first so the rounding is
+// half-away-from-zero like lround: (|q| * mantissa + 2^(shift-1)) >> shift,
+// sign restored afterward, then the clamp (an evict-shrink ratio > 1 can
+// push a row past the new grid's qmax). Everything fits int64: |q| <= 2^15,
+// mantissa < 2^32, so the product is < 2^47 and half <= 2^61.
+void rescale_row_i16_scalar(const std::int16_t* src, std::size_t n,
+                            FixedRatio ratio, std::int32_t qmin,
+                            std::int32_t qmax, std::int16_t* out) {
+  const auto m = static_cast<std::int64_t>(ratio.mantissa);
+  const std::int64_t half =
+      ratio.shift > 0 ? (std::int64_t{1} << (ratio.shift - 1)) : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t q = src[i];
+    const std::int64_t mag = (q < 0 ? -q : q) * m;
+    std::int64_t r = (mag + half) >> ratio.shift;
+    if (q < 0) r = -r;
+    if (r > qmax) r = qmax;
+    if (r < qmin) r = qmin;
+    out[i] = static_cast<std::int16_t>(r);
+  }
+}
+
 float row_amax_scalar(const float* xs, std::size_t n) {
   // std::max(amax, NaN) keeps amax (the comparison is false), so NaN
   // elements are skipped; |−0.0| folds to +0.0. SIMD variants order their
@@ -65,9 +87,10 @@ namespace detail {
 
 const KernelTable& scalar_kernels() {
   static constexpr KernelTable table = {
-      IsaLevel::scalar,       "scalar",
-      row_dot_i64_scalar,     weighted_value_accum_scalar,
+      IsaLevel::scalar,        "scalar",
+      row_dot_i64_scalar,      weighted_value_accum_scalar,
       quantize_row_i16_scalar, row_amax_scalar,
+      rescale_row_i16_scalar,
   };
   return table;
 }

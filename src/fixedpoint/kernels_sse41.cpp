@@ -97,6 +97,55 @@ void quantize_row_i16_sse41(const float* xs, std::size_t n,
   if (i < n) quantize_row_i16_scalar(xs + i, n - i, params, out + i);
 }
 
+void rescale_row_i16_sse41(const std::int16_t* src, std::size_t n,
+                           FixedRatio ratio, std::int32_t qmin,
+                           std::int32_t qmax, std::int16_t* out) {
+  // Pure integer math — exact by construction, the lanes just replicate the
+  // scalar sequence: |q| * mantissa (mul_epu32 on even/odd dword pairs, the
+  // 64-bit products are exact), + half, >> shift, 64->32 saturation guard,
+  // sign restore, clamp. The only subtlety is the 64-bit stage: a lane whose
+  // shifted magnitude still exceeds int32 range is forced to INT32_MAX
+  // before narrowing (the final clamp maps it to qmax, exactly where the
+  // scalar's int64 compare sends it).
+  const __m128i mant = _mm_set1_epi64x(ratio.mantissa);
+  const __m128i half = _mm_set1_epi64x(
+      ratio.shift > 0 ? (std::int64_t{1} << (ratio.shift - 1)) : 0);
+  const __m128i shift = _mm_cvtsi32_si128(ratio.shift);
+  const __m128i i32max64 = _mm_set1_epi64x(0x7fffffff);
+  const __m128i vqmax = _mm_set1_epi32(qmax);
+  const __m128i vqmin = _mm_set1_epi32(qmin);
+  const __m128i zero = _mm_setzero_si128();
+  const auto rescale4 = [&](__m128i v32) {
+    const __m128i sign = _mm_srai_epi32(v32, 31);
+    const __m128i mag = _mm_abs_epi32(v32);
+    __m128i even = _mm_mul_epu32(mag, mant);                     // lanes 0,2
+    __m128i odd = _mm_mul_epu32(_mm_srli_epi64(mag, 32), mant);  // lanes 1,3
+    even = _mm_srl_epi64(_mm_add_epi64(even, half), shift);
+    odd = _mm_srl_epi64(_mm_add_epi64(odd, half), shift);
+    // Lanes still >= 2^31 can't survive the narrowing — pin them to
+    // INT32_MAX (>= any qmax precondition allows).
+    even = _mm_blendv_epi8(i32max64, even,
+                           _mm_cmpeq_epi64(_mm_srli_epi64(even, 31), zero));
+    odd = _mm_blendv_epi8(i32max64, odd,
+                          _mm_cmpeq_epi64(_mm_srli_epi64(odd, 31), zero));
+    // High dwords are zero in both, so OR-merging the shifted odd lanes
+    // restores element order: [e0, o1, e2, o3].
+    __m128i r = _mm_or_si128(even, _mm_slli_si128(odd, 4));
+    r = _mm_sub_epi32(_mm_xor_si128(r, sign), sign);  // restore sign
+    return _mm_max_epi32(_mm_min_epi32(r, vqmax), vqmin);
+  };
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i v16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = rescale4(_mm_cvtepi16_epi32(v16));
+    const __m128i hi = rescale4(_mm_cvtepi16_epi32(_mm_srli_si128(v16, 8)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packs_epi32(lo, hi));
+  }
+  if (i < n) rescale_row_i16_scalar(src + i, n - i, ratio, qmin, qmax, out + i);
+}
+
 float row_amax_sse41(const float* xs, std::size_t n) {
   // max over |x| is order-independent (no rounding), so the vector reduction
   // is exact. Operand order matters for NaN: maxps returns its SECOND
@@ -123,9 +172,10 @@ float row_amax_sse41(const float* xs, std::size_t n) {
 
 const KernelTable& sse41_kernels() {
   static constexpr KernelTable table = {
-      IsaLevel::sse41,       "sse41",
-      row_dot_i64_sse41,     weighted_value_accum_sse41,
+      IsaLevel::sse41,        "sse41",
+      row_dot_i64_sse41,      weighted_value_accum_sse41,
       quantize_row_i16_sse41, row_amax_sse41,
+      rescale_row_i16_sse41,
   };
   return table;
 }

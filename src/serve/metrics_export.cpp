@@ -83,6 +83,26 @@ void export_fleet_metrics(const FleetMetrics& metrics,
   registry->gauge("serve.degradation_level")
       .set(static_cast<double>(metrics.degradation_level));
 
+  // Resident host KV footprint (sampled per step over running slots). The
+  // f32 mirror gauge must read 0 — QuantizedKvCache is int16-resident and the
+  // release-perf CI job greps the bench JSON for exactly that.
+  registry->gauge("serve.kv_int16_bytes")
+      .set(static_cast<double>(metrics.kv_int16_bytes));
+  registry->gauge("serve.kv_plane_bytes")
+      .set(static_cast<double>(metrics.kv_plane_bytes));
+  registry->gauge("serve.kv_maxima_bytes")
+      .set(static_cast<double>(metrics.kv_maxima_bytes));
+  registry->gauge("serve.kv_ids_bytes")
+      .set(static_cast<double>(metrics.kv_ids_bytes));
+  registry->gauge("serve.kv_f32_mirror_bytes")
+      .set(static_cast<double>(metrics.kv_f32_mirror_bytes));
+  registry->gauge("serve.kv_resident_tokens")
+      .set(static_cast<double>(metrics.kv_resident_tokens));
+  registry->gauge("serve.kv_resident_bytes_peak")
+      .set(static_cast<double>(metrics.kv_resident_bytes_peak));
+  registry->gauge("serve.kv_resident_tokens_peak")
+      .set(static_cast<double>(metrics.kv_resident_tokens_peak));
+
   registry->gauge("serve.tokens_per_second").set(metrics.tokens_per_second());
   registry->gauge("serve.bytes_per_token").set(metrics.bytes_per_token());
   registry->gauge("serve.avg_fragmentation").set(metrics.avg_fragmentation);

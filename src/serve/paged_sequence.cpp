@@ -82,6 +82,26 @@ bool PagedSequence::live(std::size_t token_id) const {
   return token_id < appended_ && live_[token_id];
 }
 
+const float* PagedSequence::key_row(std::size_t token_id) const {
+  require(token_id < appended_, "PagedSequence::key_row: id out of range");
+  const std::size_t page_tokens = pool_->config().page_tokens;
+  const auto page = pages_[token_id / page_tokens];
+  require(page != PagedKvPool::kInvalidPage,
+          "PagedSequence::key_row: token's page not resident");
+  return pool_->key_page(page) +
+         (token_id % page_tokens) * pool_->config().head_dim;
+}
+
+const float* PagedSequence::value_row(std::size_t token_id) const {
+  require(token_id < appended_, "PagedSequence::value_row: id out of range");
+  const std::size_t page_tokens = pool_->config().page_tokens;
+  const auto page = pages_[token_id / page_tokens];
+  require(page != PagedKvPool::kInvalidPage,
+          "PagedSequence::value_row: token's page not resident");
+  return pool_->value_page(page) +
+         (token_id % page_tokens) * pool_->config().head_dim;
+}
+
 PagedHeadView PagedSequence::view(
     std::vector<std::size_t>* token_ids_out) const {
   const std::size_t page_tokens = pool_->config().page_tokens;

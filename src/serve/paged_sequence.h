@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/quantized_kv_cache.h"
 #include "model/kv_cache.h"
 #include "serve/paged_kv_pool.h"
 
@@ -39,6 +40,16 @@ class PagedSequence {
   std::size_t sweep();
 
   bool live(std::size_t token_id) const;
+
+  // Direct float-row access by stable id — the serve-side rescale source
+  // (the pool pages ARE the floats; QuantizedKvCache keeps no mirror). Valid
+  // for any id whose page is still held: every live id always is (only
+  // fully-dead full pages are freed, never the tail), and the engine orders
+  // eviction rescales before sweep(), so rescale-time lookups of survivors
+  // land on resident pages.
+  const float* key_row(std::size_t token_id) const;
+  const float* value_row(std::size_t token_id) const;
+
   std::size_t appended_tokens() const { return appended_; }
   std::size_t live_tokens() const { return live_count_; }
   std::size_t pages_held() const { return pages_held_; }
@@ -62,6 +73,25 @@ class PagedSequence {
   std::size_t appended_ = 0;
   std::size_t live_count_ = 0;
   std::size_t pages_held_ = 0;
+};
+
+// RescaleSource adapter over one sequence: QuantizedKvCache's stable ids ==
+// PagedSequence token ids, so a whole-head rescale re-reads its floats
+// straight from the pool pages. Non-owning; the sequence must outlive it
+// (ServeEngine ties both to the slot).
+class PagedRescaleSource final : public RescaleSource {
+ public:
+  PagedRescaleSource() = default;
+  explicit PagedRescaleSource(const PagedSequence* seq) : seq_(seq) {}
+  const float* key_row(std::size_t id) const override {
+    return seq_->key_row(id);
+  }
+  const float* value_row(std::size_t id) const override {
+    return seq_->value_row(id);
+  }
+
+ private:
+  const PagedSequence* seq_ = nullptr;
 };
 
 // Per-request paged KV storage: n_layer * n_head independent sequences.

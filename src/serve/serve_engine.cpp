@@ -75,13 +75,29 @@ struct ServeEngine::Slot {
       qcaches.emplace_back(static_cast<std::size_t>(config.head_dim),
                            QuantizedKvCache::Config{quant, headroom});
     }
+    // The pool pages ARE each head's floats: register every sequence as its
+    // quantized cache's rescale source (stable ids coincide by
+    // construction), so whole-head rescales re-read exact floats instead of
+    // the cache keeping an f32 mirror alive. The step's phase ordering makes
+    // the rows always resident when queried: sequential seq.append runs
+    // before the parallel qcache appends, and eviction rescales run before
+    // sweep() frees any page.
+    rescale_sources.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int layer = static_cast<int>(i) / config.n_head;
+      const int head = static_cast<int>(i) % config.n_head;
+      rescale_sources.emplace_back(&cache.seq(layer, head));
+      qcaches[i].set_rescale_source(&rescale_sources[i]);
+    }
   }
 
   PagedKvCache cache;
-  // Incrementally quantized mirror of each sequence's live tokens — the
-  // attention read path. Appended alongside PagedSequence appends; evicted
+  // Incrementally quantized companion of each sequence's live tokens — the
+  // attention read path, int16-resident only (rescales read the pool via
+  // rescale_sources). Appended alongside PagedSequence appends; evicted
   // coherently when reclamation marks tokens dead.
   std::vector<QuantizedKvCache> qcaches;  // per (layer, head), layer-major
+  std::vector<PagedRescaleSource> rescale_sources;    // parallel to qcaches
   std::vector<PrunePersistence> persistence;  // per (layer, head), layer-major
   std::unique_ptr<SpAttenBackend> spatten;
 };
@@ -1648,10 +1664,31 @@ bool ServeEngine::step() {
   // Fragmentation sample over live slots (running requests only).
   std::size_t pages = 0;
   std::size_t live = 0;
+  QuantizedKvCache::ResidencyBytes kv{};
+  std::size_t kv_tokens = 0;
   for (const std::size_t request : batcher_.running()) {
     pages += slots_[request]->cache.pages_held();
     live += slots_[request]->cache.live_tokens();
+    for (const QuantizedKvCache& qcache : slots_[request]->qcaches) {
+      const auto r = qcache.residency();
+      kv.int16_arena += r.int16_arena;
+      kv.planes += r.planes;
+      kv.maxima += r.maxima;
+      kv.ids += r.ids;
+      kv.f32_mirror += r.f32_mirror;
+      kv_tokens += qcache.len();
+    }
   }
+  metrics_.kv_int16_bytes = kv.int16_arena;
+  metrics_.kv_plane_bytes = kv.planes;
+  metrics_.kv_maxima_bytes = kv.maxima;
+  metrics_.kv_ids_bytes = kv.ids;
+  metrics_.kv_f32_mirror_bytes = kv.f32_mirror;
+  metrics_.kv_resident_tokens = kv_tokens;
+  metrics_.kv_resident_bytes_peak =
+      std::max(metrics_.kv_resident_bytes_peak, kv.total());
+  metrics_.kv_resident_tokens_peak =
+      std::max(metrics_.kv_resident_tokens_peak, kv_tokens);
   if (pages > 0) {
     fragmentation_sum_ +=
         1.0 - static_cast<double>(live) /

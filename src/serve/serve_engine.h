@@ -352,6 +352,21 @@ struct FleetMetrics {
   std::uint64_t pages_reclaimed = 0;  // freed by pruning (not retirement)
   double avg_fragmentation = 0.0;  // dead-but-unreclaimed slot fraction
 
+  // Resident host KV bytes held by the running slots' quantized caches,
+  // sampled every step (the _peak fields track the run's maximum). Split by
+  // arena (see QuantizedKvCache::ResidencyBytes). kv_f32_mirror_bytes must
+  // read 0: the cache keeps no float shadow — whole-head rescales re-read
+  // the paged pool through each slot's RescaleSource (CI greps the bench's
+  // kv_residency section for exactly this).
+  std::size_t kv_int16_bytes = 0;
+  std::size_t kv_plane_bytes = 0;
+  std::size_t kv_maxima_bytes = 0;
+  std::size_t kv_ids_bytes = 0;
+  std::size_t kv_f32_mirror_bytes = 0;
+  std::size_t kv_resident_tokens = 0;
+  std::size_t kv_resident_bytes_peak = 0;
+  std::size_t kv_resident_tokens_peak = 0;
+
   // Per-priority-class breakdowns, indexed by wl::Priority.
   std::array<ClassMetrics, wl::kPriorityCount> per_class;
   const ClassMetrics& for_class(wl::Priority priority) const {

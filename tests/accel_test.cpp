@@ -10,6 +10,7 @@
 #include "accel/kv_layout.h"
 #include "accel/scoreboard.h"
 #include "core/exact_attention.h"
+#include "core/quantized_kv_cache.h"
 #include "workload/generator.h"
 
 namespace topick::accel {
@@ -101,6 +102,64 @@ TEST(KvLayoutTest, WideHeadUsesMultipleGranules) {
 TEST(KvLayoutTest, RejectsUnalignedBase) {
   const AccelConfig config = make_config(DesignPoint::topick_ooo);
   EXPECT_THROW(KvLayout(config, 17, 16, 64), std::logic_error);
+}
+
+TEST(KvLayoutTest, HostResidentLayoutChargesInt16Width) {
+  // host_resident_layout widens the granule math from packed chunk bits to
+  // the int16 elements the host cache actually stores: a 64-dim chunk plane
+  // row goes 32 B -> 128 B, a value row 96 B -> 128 B.
+  AccelConfig config = make_config(DesignPoint::topick_ooo);
+  config.host_resident_layout = true;
+  KvLayout layout(config, 0, 128, 64);
+  EXPECT_EQ(layout.granules_per_chunk(), 4);
+  EXPECT_EQ(layout.granules_per_value(), 4);
+
+  // Same bank-group discipline as the packed layout: the contiguity charged
+  // is the host's contiguous plane walk, so K planes stay bank-disjoint.
+  mem::Hbm hbm(config.dram);
+  std::array<std::set<std::uint64_t>, 3> banks_used;
+  for (std::size_t t = 0; t < 128; ++t) {
+    for (int b = 0; b < 3; ++b) {
+      for (int g = 0; g < layout.granules_per_chunk(); ++g) {
+        banks_used[static_cast<std::size_t>(b)].insert(
+            hbm.local_of(layout.key_chunk_addr(t, b, g)).bank);
+      }
+    }
+  }
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      for (auto bank : banks_used[static_cast<std::size_t>(a)]) {
+        EXPECT_FALSE(banks_used[static_cast<std::size_t>(b)].count(bank));
+      }
+    }
+  }
+}
+
+TEST(KvLayoutTest, HostResidentRegionMatchesCacheResidency) {
+  // Cross-layer pin: the host-layout region footprint must equal what one
+  // head of QuantizedKvCache reports as resident for its planes + value
+  // arena (head_dim 64 rows are granule-aligned, so no rounding slack).
+  AccelConfig config = make_config(DesignPoint::topick_ooo);
+  config.host_resident_layout = true;
+  const std::size_t len = 96;
+  const int head_dim = 64;
+
+  QuantizedKvCache cache(static_cast<std::size_t>(head_dim));
+  Rng rng(0x1d);
+  std::vector<float> k(static_cast<std::size_t>(head_dim));
+  std::vector<float> v(static_cast<std::size_t>(head_dim));
+  for (std::size_t t = 0; t < len; ++t) {
+    for (auto& x : k) x = static_cast<float>(rng.normal());
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    cache.append(k, v);
+  }
+  const auto res = cache.residency();
+  EXPECT_EQ(res.f32_mirror, 0u);
+
+  const KvLayout layout(config, 0, len, head_dim);
+  // int16_arena covers flat keys + values in equal halves; the device never
+  // refetches the flat key copy, so the region is planes + the value half.
+  EXPECT_EQ(layout.region_bytes(), res.planes + res.int16_arena / 2);
 }
 
 TEST(ScoreboardTest, InsertTakeRoundTrip) {

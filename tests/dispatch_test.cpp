@@ -51,6 +51,7 @@ TEST(DispatchRegistry, ScalarIsAlwaysPresentAndFirst) {
     ASSERT_NE(table->weighted_value_accum, nullptr) << table->name;
     ASSERT_NE(table->quantize_row_i16, nullptr) << table->name;
     ASSERT_NE(table->row_amax, nullptr) << table->name;
+    ASSERT_NE(table->rescale_row_i16, nullptr) << table->name;
     EXPECT_STREQ(table->name, fx::isa_name(table->level));
   }
   for (std::size_t i = 1; i < compiled.size(); ++i) {
@@ -180,6 +181,84 @@ TEST(DispatchForcedMatrix, EveryLevelBitMatchesScalarThroughPublicEntryPoints) {
           float sa = fx::row_amax_scalar(xs.data(), n);
           float expected = sa == 0.0f ? 1.0f : sa / 2047.0f;
           EXPECT_EQ(fx::choose_scale({xs.data(), n}), expected) << "n=" << n;
+        }
+      }
+    }
+    fx::reset_isa();
+  }
+}
+
+// rescale_row_i16 gets its own matrix leg: the int-domain re-gridding
+// (sourceless whole-head rescales, core/quantized_kv_cache.cpp) must be
+// element-exact across every compiled-in variant — through the dispatching
+// wrapper, through the raw table pointer (covering SIMD at n < the wrapper's
+// inline threshold), and under src == out aliasing — over identity, grow,
+// shrink-to-saturation, and degenerate ratios. Each result is additionally
+// pinned within 1 ULP of the real-ratio grid round(|q| * old/new).
+TEST(DispatchForcedMatrix, RescaleRowEveryLevelMatchesScalarAndRealRatioGrid) {
+  IsaGuard guard;
+  Rng rng(0x4e5c);
+  const fx::QuantParams params;  // the 12-bit production grid
+  const std::size_t lengths[] = {0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                                 31, 32, 33, 63, 64, 65, 96, 128, 257};
+  for (const fx::KernelTable* table : fx::supported_kernel_tables()) {
+    SCOPED_TRACE(table->name);
+    ASSERT_TRUE(fx::force_isa(table->level));
+
+    for (const std::size_t n : lengths) {
+      for (int trial = 0; trial < 16; ++trial) {
+        // Alternate the production 12-bit clamp with the full int16 range
+        // (the kernel contract only requires qmin/qmax to fit int16).
+        const bool full_range = trial % 5 == 0;
+        const std::int32_t qmax = full_range ? 32767 : params.qmax();
+        const std::int32_t qmin = full_range ? -32768 : params.qmin();
+        std::vector<std::int16_t> src(n);
+        for (auto& q : src) {
+          q = full_range
+                  ? static_cast<std::int16_t>(
+                        static_cast<int>(rng.uniform_index(65536)) - 32768)
+                  : static_cast<std::int16_t>(
+                        static_cast<int>(rng.uniform_index(4095)) - 2047);
+        }
+        const float old_scale = 0.25f + static_cast<float>(rng.uniform());
+        float new_scale;
+        switch (trial % 4) {
+          case 0: new_scale = old_scale; break;           // identity ratio
+          case 1: new_scale = old_scale * 64.0f; break;   // coarser grid
+          case 2: new_scale = old_scale / 64.0f; break;   // finer: saturates
+          default:
+            new_scale =
+                old_scale * (0.5f + 1.5f * static_cast<float>(rng.uniform()));
+        }
+        if (trial == 7) new_scale = 0.0f;  // degenerate -> all-zero output
+        const fx::FixedRatio ratio = fx::make_fixed_ratio(old_scale, new_scale);
+
+        std::vector<std::int16_t> want(n), got(n);
+        fx::rescale_row_i16_scalar(src.data(), n, ratio, qmin, qmax,
+                                   want.data());
+        fx::rescale_row_i16(src.data(), n, ratio, qmin, qmax, got.data());
+        EXPECT_EQ(got, want) << "n=" << n << " trial=" << trial;
+
+        if (n >= 1) {
+          table->rescale_row_i16(src.data(), n, ratio, qmin, qmax, got.data());
+          EXPECT_EQ(got, want) << "direct call, n=" << n;
+        }
+        std::vector<std::int16_t> alias = src;
+        fx::rescale_row_i16(alias.data(), n, ratio, qmin, qmax, alias.data());
+        EXPECT_EQ(alias, want) << "aliased, n=" << n;
+
+        if (new_scale > 0.0f) {
+          const double r = static_cast<double>(old_scale) /
+                           static_cast<double>(new_scale);
+          for (std::size_t i = 0; i < n; ++i) {
+            const double mag = std::abs(static_cast<double>(src[i]));
+            double exact = std::floor(mag * r + 0.5);
+            if (src[i] < 0) exact = -exact;
+            exact = std::min(static_cast<double>(qmax),
+                             std::max(static_cast<double>(qmin), exact));
+            EXPECT_LE(std::abs(static_cast<double>(want[i]) - exact), 1.0)
+                << "n=" << n << " i=" << i << " q=" << src[i] << " r=" << r;
+          }
         }
       }
     }

@@ -20,13 +20,27 @@
 namespace topick {
 namespace {
 
-// Float KV rows kept by the test as the from-scratch reference source.
-struct ShadowKv {
+// Float KV rows kept by the test as the from-scratch reference — and, since
+// the cache retains no floats of its own, registered as its RescaleSource so
+// whole-head rescales re-read exact rows (the bit-identity contract).
+struct ShadowKv final : RescaleSource {
   std::size_t head_dim;
   std::vector<std::vector<float>> keys, values;
   std::vector<std::size_t> ids;
 
   explicit ShadowKv(std::size_t dim) : head_dim(dim) {}
+
+  const float* key_row(std::size_t id) const override {
+    return keys[pos_of(id)].data();
+  }
+  const float* value_row(std::size_t id) const override {
+    return values[pos_of(id)].data();
+  }
+  std::size_t pos_of(std::size_t id) const {
+    const auto it = std::find(ids.begin(), ids.end(), id);
+    EXPECT_NE(it, ids.end()) << "rescale asked for unknown id " << id;
+    return static_cast<std::size_t>(it - ids.begin());
+  }
 
   void append(std::vector<float> k, std::vector<float> v, std::size_t id) {
     keys.push_back(std::move(k));
@@ -149,6 +163,7 @@ TEST(QuantizedKvCache, AppendOnlyMatchesFromScratch) {
   const std::size_t dim = 24;
   QuantizedKvCache cache(dim);
   ShadowKv shadow(dim);
+  cache.set_rescale_source(&shadow);
   for (std::size_t t = 0; t < 64; ++t) {
     auto k = random_row(rng, dim, 1.0);
     auto v = random_row(rng, dim, 1.0);
@@ -166,6 +181,7 @@ TEST(QuantizedKvCache, EngineeredMidDecodeRescale) {
   const std::size_t dim = 16;
   QuantizedKvCache cache(dim);
   ShadowKv shadow(dim);
+  cache.set_rescale_source(&shadow);
   // Quiet prefix, then a spike 10x past the running max: the spike append
   // must trigger exactly one whole-head requantize and stay exact.
   for (std::size_t t = 0; t < 20; ++t) {
@@ -200,6 +216,7 @@ TEST(QuantizedKvCache, EvictingTheRecordHolderShrinksTheScale) {
   const std::size_t dim = 16;
   QuantizedKvCache cache(dim);
   ShadowKv shadow(dim);
+  cache.set_rescale_source(&shadow);
   for (std::size_t t = 0; t < 12; ++t) {
     auto k = random_row(rng, dim, 0.5);
     if (t == 5) k[0] = 25.0f;  // the record holder
@@ -220,6 +237,7 @@ TEST(QuantizedKvCache, BulkAppendRowsMatchesFromScratch) {
   const std::size_t dim = 8;
   QuantizedKvCache cache(dim);
   ShadowKv shadow(dim);
+  cache.set_rescale_source(&shadow);
   std::vector<float> k_rows, v_rows;
   const std::size_t count = 33;
   for (std::size_t t = 0; t < count; ++t) {
@@ -247,6 +265,7 @@ TEST(QuantizedKvCache, RandomizedInterleavingsAttendBitIdentical) {
 
   QuantizedKvCache cache(dim, {config.quant, 1.0f});
   ShadowKv shadow(dim);
+  cache.set_rescale_source(&shadow);
   TokenPickerAttention cached_op(config);
   TokenPickerAttention scratch_op(config);
   TokenPickerResult cached_result;
@@ -287,6 +306,88 @@ TEST(QuantizedKvCache, RandomizedInterleavingsAttendBitIdentical) {
     EXPECT_EQ(cached_result.oracle_dropped_mass, fresh.oracle_dropped_mass);
   }
   EXPECT_GT(cache.key_rescales() + cache.value_rescales(), 0u);
+}
+
+// The sourceless int-domain fallback against the float-sourced path over
+// randomized append/evict interleavings. Identical inputs keep the two
+// caches in lockstep on everything float-domain — ids, per-row maxima,
+// scales, rescale times — so the only divergence is the stored integers:
+// each fallback rescale re-rounds the current int16 row through a
+// fixed-point ratio (within 1 ULP of the real-ratio grid) instead of
+// re-reading floats. The drift is bounded per rescale and tracked here:
+// allowed' = ratio * (allowed + 0.5) + 1.01 quantization steps.
+TEST(QuantizedKvCache, SourcelessFallbackTracksFloatSourcedWithinDrift) {
+  Rng rng(0xfa11);
+  const std::size_t dim = 32;
+  QuantizedKvCache sourced(dim);
+  QuantizedKvCache fallback(dim);
+  ShadowKv shadow(dim);
+  sourced.set_rescale_source(&shadow);
+  ASSERT_EQ(fallback.rescale_source(), nullptr);
+
+  double allowed_k = 0.0, allowed_v = 0.0;
+  std::size_t next_id = 0;
+  for (int op = 0; op < 300; ++op) {
+    const float old_k_scale = sourced.key_params().scale;
+    const float old_v_scale = sourced.value_params().scale;
+    const auto roll = rng.uniform_index(10);
+    if (roll < 6 || shadow.ids.size() < 2) {
+      const double scale = rng.uniform_index(12) == 0 ? 30.0 : 1.0;
+      auto k = random_row(rng, dim, scale);
+      auto v = random_row(rng, dim, scale);
+      shadow.append(k, v, next_id);
+      sourced.append(k, v, next_id);
+      fallback.append(k, v, next_id);
+      ++next_id;
+    } else {
+      std::vector<std::size_t> dead;
+      const std::size_t count = 1 + rng.uniform_index(3);
+      for (std::size_t i = 0; i < count && shadow.ids.size() - dead.size() > 1;
+           ++i) {
+        dead.push_back(shadow.ids[rng.uniform_index(shadow.ids.size())]);
+      }
+      sourced.evict_ids(dead);
+      fallback.evict_ids(dead);
+      shadow.evict(dead);
+    }
+
+    // Float-domain state never diverges: same ids, scales, rescale counts.
+    ASSERT_EQ(fallback.len(), sourced.len());
+    ASSERT_EQ(fallback.ids(), sourced.ids());
+    ASSERT_EQ(fallback.key_params().scale, sourced.key_params().scale);
+    ASSERT_EQ(fallback.value_params().scale, sourced.value_params().scale);
+    ASSERT_EQ(fallback.key_rescales(), sourced.key_rescales());
+    ASSERT_EQ(fallback.value_rescales(), sourced.value_rescales());
+
+    if (sourced.key_params().scale != old_k_scale && old_k_scale != 1.0f) {
+      allowed_k = static_cast<double>(old_k_scale) /
+                      static_cast<double>(sourced.key_params().scale) *
+                      (allowed_k + 0.5) +
+                  1.01;
+    }
+    if (sourced.value_params().scale != old_v_scale && old_v_scale != 1.0f) {
+      allowed_v = static_cast<double>(old_v_scale) /
+                      static_cast<double>(sourced.value_params().scale) *
+                      (allowed_v + 0.5) +
+                  1.01;
+    }
+
+    const QuantizedKvView a = fallback.view();
+    const QuantizedKvView b = sourced.view();
+    for (std::size_t t = 0; t < sourced.len(); ++t) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        EXPECT_LE(std::abs(static_cast<int>(a.key(t)[d]) -
+                           static_cast<int>(b.key(t)[d])),
+                  allowed_k + 0.5)
+            << "op " << op << " token " << t << " dim " << d;
+        EXPECT_LE(std::abs(static_cast<int>(a.value(t)[d]) -
+                           static_cast<int>(b.value(t)[d])),
+                  allowed_v + 0.5)
+            << "op " << op << " token " << t << " dim " << d;
+      }
+    }
+  }
+  EXPECT_GT(sourced.key_rescales() + sourced.value_rescales(), 0u);
 }
 
 // Amortized mode (headroom > 1) gives up bit-exactness for fewer rescales,
@@ -397,19 +498,34 @@ TEST(QuantizedKvCache, SyncToViewGrowsAndGuardsRestarts) {
   EXPECT_EQ(cache.len(), 8u);
 
   // Restart: a different sequence of the same length must be detected via
-  // the tail-row guard and rebuilt, not silently reused.
+  // the tail-row guard and rebuilt, not silently reused. The guard has no
+  // floats to compare against anymore — it witnesses via stable ids + the
+  // recorded row amax + a re-quantization of the tail bits.
   std::vector<float> keys2 = keys, values2 = values;
   for (auto& x : keys2) x += 1.0f;
   sync_cache_to_view(cache, {keys2.data(), values2.data(), 8, dim});
-  ShadowKv shadow(dim);
-  for (std::size_t t = 0; t < 8; ++t) {
-    shadow.append({keys2.begin() + static_cast<std::ptrdiff_t>(t * dim),
-                   keys2.begin() + static_cast<std::ptrdiff_t>((t + 1) * dim)},
-                  {values2.begin() + static_cast<std::ptrdiff_t>(t * dim),
-                   values2.begin() + static_cast<std::ptrdiff_t>((t + 1) * dim)},
-                  t);
-  }
-  expect_matches_from_scratch(cache, shadow);
+  auto expect_adopted = [&](const std::vector<float>& ks,
+                            const std::vector<float>& vs) {
+    ShadowKv shadow(dim);
+    for (std::size_t t = 0; t < 8; ++t) {
+      shadow.append({ks.begin() + static_cast<std::ptrdiff_t>(t * dim),
+                     ks.begin() + static_cast<std::ptrdiff_t>((t + 1) * dim)},
+                    {vs.begin() + static_cast<std::ptrdiff_t>(t * dim),
+                     vs.begin() + static_cast<std::ptrdiff_t>((t + 1) * dim)},
+                    t);
+    }
+    expect_matches_from_scratch(cache, shadow);
+  };
+  expect_adopted(keys2, values2);
+
+  // Adversarial restart for the amax leg of the witness: reverse the tail
+  // row in place. Its max|x| is unchanged, so only the re-quantized-bits
+  // check can catch the divergence.
+  std::vector<float> keys3 = keys2;
+  std::reverse(keys3.end() - static_cast<std::ptrdiff_t>(dim), keys3.end());
+  ASSERT_NE(keys3, keys2);
+  sync_cache_to_view(cache, {keys3.data(), values2.data(), 8, dim});
+  expect_adopted(keys3, values2);
 }
 
 // Backend adoption: the cache-backed ExactQuantizedBackend must reproduce

@@ -178,6 +178,68 @@ TEST(PagedSequence, SweptFullTailPageThenAppendKeepsIndicesConsistent) {
   }
 }
 
+// The serve-side RescaleSource contract end to end: a QuantizedKvCache with
+// a PagedRescaleSource provider and NO floats of its own survives a
+// mid-decode record-holder eviction bit-identically to quantizing the
+// survivors from scratch. The engine's ordering discipline is replicated:
+// the cache eviction (whose rescale queries the provider) runs BEFORE
+// mark_dead + sweep release the pool pages.
+TEST(PagedSequence, PoolProviderKeepsRecordHolderEvictionBitIdentical) {
+  PagedKvPool pool({8, 4, 16});
+  PagedSequence seq(&pool);
+  const std::size_t dim = 16;
+  QuantizedKvCache cache(dim);
+  const PagedRescaleSource provider(&seq);
+  cache.set_rescale_source(&provider);
+
+  Rng rng(0x9a6e);
+  std::vector<std::vector<float>> k_rows, v_rows;
+  for (std::size_t t = 0; t < 14; ++t) {
+    std::vector<float> k(dim), v(dim);
+    for (auto& x : k) x = static_cast<float>(rng.normal() * 0.5);
+    for (auto& x : v) x = static_cast<float>(rng.normal() * 0.5);
+    if (t == 5) k[3] = 25.0f;  // the record holder, in page 1 (tokens 4..7)
+    ASSERT_TRUE(seq.append(k, v));
+    cache.append(k, v, t);
+    k_rows.push_back(std::move(k));
+    v_rows.push_back(std::move(v));
+  }
+
+  // Mid-decode, persistence prunes all of page 1 — record holder included.
+  const std::vector<std::size_t> dead{4, 5, 6, 7};
+  const auto rescales_before = cache.key_rescales();
+  EXPECT_EQ(cache.evict_ids(dead), 4u);  // provider queried for survivors
+  EXPECT_EQ(cache.key_rescales(), rescales_before + 1);
+  for (const auto id : dead) seq.mark_dead(id);
+  EXPECT_EQ(seq.sweep(), 1u);  // only now does the page leave the pool
+
+  // Bit-identity vs a fresh quantize of the survivors' floats.
+  std::vector<float> k_flat, v_flat;
+  std::vector<std::size_t> survivors;
+  for (std::size_t t = 0; t < 14; ++t) {
+    if (std::find(dead.begin(), dead.end(), t) != dead.end()) continue;
+    survivors.push_back(t);
+    k_flat.insert(k_flat.end(), k_rows[t].begin(), k_rows[t].end());
+    v_flat.insert(v_flat.end(), v_rows[t].begin(), v_rows[t].end());
+  }
+  const KvHeadView fresh_view{k_flat.data(), v_flat.data(), survivors.size(),
+                              dim};
+  const QuantizedKv fresh = quantize_kv(fresh_view, cache.config().base);
+  const QuantizedKvView cached = cache.view();
+  ASSERT_EQ(cache.len(), survivors.size());
+  EXPECT_EQ(cached.key_params.scale, fresh.keys[0].params.scale);
+  EXPECT_EQ(cached.value_params.scale, fresh.values[0].params.scale);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(cache.id_at(i), survivors[i]);
+    for (std::size_t d = 0; d < dim; ++d) {
+      EXPECT_EQ(cached.key(i)[d], fresh.keys[i].values[d]);
+      EXPECT_EQ(cached.value(i)[d], fresh.values[i].values[d]);
+    }
+  }
+  // And the retired mirror stays retired.
+  EXPECT_EQ(cache.residency().f32_mirror, 0u);
+}
+
 TEST(PagedKvCache, FragmentationCountsDeadAndTailSlack) {
   PagedKvPool pool({16, 4, 2});
   PagedKvCache cache(&pool, 1, 1);
